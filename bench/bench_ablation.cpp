@@ -1,0 +1,123 @@
+// Ablation benches for the design choices called out in DESIGN.md §5:
+//   (1) asymmetric (translated-embedding) vs symmetric edge decoder —
+//       directed-edge recovery quality on held-out circuits;
+//   (2) number of diffusion steps T — structural similarity of samples;
+//   (3) Phase 2 repair statistics — how much of G_ini survives verbatim.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "diffusion/model.hpp"
+#include "stats/metrics.hpp"
+
+namespace {
+
+using namespace syn;
+
+/// AUC of distinguishing true directed edges (i -> j) from their reversals
+/// (j -> i) with the trained denoiser at t = 1.
+double direction_auc(const diffusion::DiffusionModel& model,
+                     const graph::Graph& g) {
+  const auto attrs = graph::attrs_of(g);
+  const auto adj = graph::to_adjacency(g);
+  // Uses the end-to-end sampling interface: P_E at t=0 scores both
+  // orientations of every true edge.
+  util::Rng rng(1);
+  const auto sample = model.sample(attrs, rng);
+  double correct = 0.0, total = 0.0;
+  for (const auto& [from, to] : g.edges()) {
+    if (adj.at(to, from)) continue;  // skip bidirectional pairs
+    const double p_fwd = sample.edge_prob.at(from, to);
+    const double p_rev = sample.edge_prob.at(to, from);
+    correct += p_fwd > p_rev ? 1.0 : (p_fwd == p_rev ? 0.5 : 0.0);
+    total += 1.0;
+  }
+  return total > 0.0 ? correct / total : 0.5;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation bench: SynCircuit design choices ===\n\n";
+  const auto split = bench::split_corpus();
+
+  // --- (1) decoder asymmetry ---
+  std::cout << "--- decoder: translated-embedding vs symmetric ---\n";
+  util::Table decoder_table({"decoder", "direction AUC (train)",
+                             "direction AUC (held-out)"});
+  for (const bool symmetric : {false, true}) {
+    diffusion::DiffusionConfig cfg;
+    cfg.steps = 6;
+    cfg.denoiser = {.mpnn_layers = 3, .hidden = 32, .time_dim = 16,
+                    .symmetric_decoder = symmetric};
+    cfg.epochs = 12;
+    cfg.seed = 13;
+    diffusion::DiffusionModel model(cfg);
+    model.train(split.train);
+    double train_auc = 0.0, test_auc = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      train_auc += direction_auc(model, split.train[static_cast<std::size_t>(k)]);
+      test_auc += direction_auc(model, split.test[static_cast<std::size_t>(k)]);
+    }
+    decoder_table.add_row({symmetric ? "symmetric (ablated)" : "asymmetric",
+                           util::fmt_fixed(train_auc / 3, 3),
+                           util::fmt_fixed(test_auc / 3, 3)});
+  }
+  decoder_table.print(std::cout);
+  std::cout << "Expected: asymmetric decoder recovers direction well above "
+               "chance (0.5); symmetric cannot.\n\n";
+
+  // --- (2) diffusion steps ---
+  std::cout << "--- diffusion steps T ---\n";
+  util::Table steps_table({"T", "OutDeg W1", "Cluster W1", "Orbit W1"});
+  const graph::Graph& reference = split.test.front();
+  for (const int steps : {1, 3, 9}) {
+    diffusion::DiffusionConfig cfg;
+    cfg.steps = steps;
+    cfg.denoiser = {.mpnn_layers = 3, .hidden = 32, .time_dim = 16};
+    cfg.epochs = 12;
+    cfg.seed = 14;
+    diffusion::DiffusionModel model(cfg);
+    model.train(split.train);
+    util::Rng rng(2);
+    std::vector<graph::Graph> samples;
+    const auto attrs = graph::attrs_of(reference);
+    for (int s = 0; s < 3; ++s) {
+      const auto sample = model.sample(attrs, rng);
+      samples.push_back(
+          graph::graph_from_adjacency(attrs, sample.adjacency, "s"));
+    }
+    const auto cmp = stats::compare_structure(reference, samples);
+    steps_table.add_row({std::to_string(steps),
+                         util::fmt_sig(cmp.w1_out_degree),
+                         util::fmt_sig(cmp.w1_cluster),
+                         util::fmt_sig(cmp.w1_orbit)});
+  }
+  steps_table.print(std::cout);
+  std::cout << "Expected: more denoising steps = lower W1 distances.\n\n";
+
+  // --- (3) Phase 2 repair provenance ---
+  std::cout << "--- Phase 2: how much of G_ini survives repair ---\n";
+  core::SynCircuitGenerator gen(bench::syncircuit_config(true, false));
+  gen.fit(split.train);
+  util::Rng rng(3);
+  std::size_t kept = 0, repaired = 0, from_gini = 0, from_prob = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto attrs = gen.attr_sampler().sample(80, rng);
+    const auto phases = gen.run_phases(attrs, rng);
+    kept += phases.repair.nodes_kept;
+    repaired += phases.repair.nodes_repaired;
+    from_gini += phases.repair.edges_from_gini;
+    from_prob += phases.repair.edges_from_probability;
+  }
+  util::Table repair_table(
+      {"nodes kept verbatim", "nodes repaired", "edges from G_ini",
+       "edges from P_E ranking"});
+  repair_table.add_row({std::to_string(kept), std::to_string(repaired),
+                        std::to_string(from_gini), std::to_string(from_prob)});
+  repair_table.print(std::cout);
+  std::cout << "Expected: a large fraction of edges comes from G_ini — "
+               "repair preserves the generative signal rather than "
+               "re-rolling the graph.\n";
+  return 0;
+}

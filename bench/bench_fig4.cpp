@@ -1,0 +1,98 @@
+// Regenerates Figure 4: (a) SCPR of the five most redundant G_val
+// examples before/after random vs MCTS optimization; (b) distribution of
+// sequential cells preserved after synthesis under the three treatments.
+//
+// Paper shape to reproduce: unoptimized SCPR below ~20% for the worst
+// G_val samples; MCTS lifts it substantially (beyond 50% for some) and
+// beats the random-swap baseline with the same simulation budget.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mcts/discriminator.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/histogram.hpp"
+
+int main() {
+  using namespace syn;
+  std::cout << "=== Figure 4: MCTS redundancy optimization ===\n\n";
+
+  const auto split = bench::split_corpus();
+  // Pipeline without Phase 3; we optimize its G_val output explicitly.
+  core::SynCircuitGenerator gen(bench::syncircuit_config(true, false));
+  gen.fit(split.train);
+
+  // Discriminator-guided MCTS reward (the paper's synthesis-free search),
+  // final numbers below are measured with the real synthesis substrate.
+  core::SynCircuitConfig opt_cfg = bench::syncircuit_config(true, true);
+  core::SynCircuitGenerator optimizer(opt_cfg);
+  optimizer.fit(split.train);
+
+  // Generate candidate G_val samples and keep the 5 most redundant.
+  std::cout << "generating candidate G_val samples...\n" << std::flush;
+  util::Rng rng(0xf16u);
+  struct Candidate {
+    graph::Graph gval;
+    double scpr;
+  };
+  std::vector<Candidate> candidates;
+  for (int i = 0; i < 8; ++i) {
+    const auto attrs = gen.attr_sampler().sample(90, rng);
+    auto phases = gen.run_phases(attrs, rng);
+    const double scpr = synth::synthesize_stats(phases.gval).scpr();
+    candidates.push_back({std::move(phases.gval), scpr});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.scpr < b.scpr; });
+  candidates.resize(5);
+
+  util::Table table({"G_val sample", "SCPR no opt", "SCPR random",
+                     "SCPR MCTS", "regs no opt", "regs random", "regs MCTS"});
+  std::vector<double> regs_none, regs_random, regs_mcts;
+  const auto reward = mcts::hybrid_reward(optimizer.discriminator());
+  int index = 0;
+  for (const auto& candidate : candidates) {
+    std::cout << "optimizing sample " << index << "...\n" << std::flush;
+    util::Rng rng_m(100 + index);
+    util::Rng rng_r(100 + index);
+    const graph::Graph via_mcts = mcts::optimize_registers(
+        candidate.gval, opt_cfg.mcts, reward, rng_m);
+    mcts::MctsConfig random_cfg = opt_cfg.mcts;
+    // Paper: "the same number of simulations as MCTS" — one random-walk
+    // step per MCTS simulation per optimized cone.
+    random_cfg.simulations = opt_cfg.mcts.simulations *
+                             std::max(1, opt_cfg.mcts.max_registers);
+    const graph::Graph via_random =
+        mcts::random_optimize(candidate.gval, random_cfg, reward, rng_r);
+
+    const auto s_none = synth::synthesize_stats(candidate.gval);
+    const auto s_rand = synth::synthesize_stats(via_random);
+    const auto s_mcts = synth::synthesize_stats(via_mcts);
+    regs_none.push_back(static_cast<double>(s_none.seq_cells));
+    regs_random.push_back(static_cast<double>(s_rand.seq_cells));
+    regs_mcts.push_back(static_cast<double>(s_mcts.seq_cells));
+    table.add_row({"#" + std::to_string(index++),
+                   util::fmt_pct(s_none.scpr()), util::fmt_pct(s_rand.scpr()),
+                   util::fmt_pct(s_mcts.scpr()),
+                   std::to_string(s_none.seq_cells),
+                   std::to_string(s_rand.seq_cells),
+                   std::to_string(s_mcts.seq_cells)});
+  }
+
+  std::cout << "\n--- Fig 4(a): SCPR of the 5 most redundant G_val ---\n";
+  table.print(std::cout);
+
+  std::cout << "\n--- Fig 4(b): preserved sequential cells ---\n";
+  auto print_dist = [](const char* label, const std::vector<double>& v) {
+    const auto s = util::summarize(v);
+    std::cout << label << ": mean=" << util::fmt_sig(s.mean)
+              << " median=" << util::fmt_sig(s.median)
+              << " max=" << util::fmt_sig(s.max) << "\n";
+  };
+  print_dist("no optimization ", regs_none);
+  print_dist("random swaps    ", regs_random);
+  print_dist("MCTS            ", regs_mcts);
+  std::cout << "\nPaper shape: MCTS > random > none on both SCPR and "
+               "preserved registers.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Regenerates Figure 5: netlist timing statistics of the synthetic
+// datasets vs the real benchmarks — (a) critical-path slack (WNS) and
+// (b) TNS divided by the number of violating paths.
+//
+// Paper shape to reproduce: GraphRNN- and DVAE-generated circuits show
+// only tiny WNS / TNS-per-violation magnitudes (their DAG outputs carry no
+// deep observable logic), while SynCircuit's distributions overlap the
+// real designs'.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/histogram.hpp"
+
+int main() {
+  using namespace syn;
+  std::cout << "=== Figure 5: timing statistics, synthetic vs real ===\n\n";
+
+  const auto split = bench::split_corpus();
+  constexpr std::size_t kSetSize = 25;  // paper: 25 pseudo-circuits per set
+  constexpr std::size_t kNodeLo = 100, kNodeHi = 160;  // deep arithmetic
+  const sta::TimingOptions timing{.clock_period_ns = 1.0, .delay_scale = 1.0};
+
+  auto timing_stats = [&](const std::vector<graph::Graph>& designs,
+                          std::vector<double>& wns,
+                          std::vector<double>& tns_nvp) {
+    for (const auto& g : designs) {
+      const auto synth_result = synth::synthesize(g);
+      const auto report = sta::analyze(synth_result.netlist, timing);
+      wns.push_back(report.wns);
+      tns_nvp.push_back(report.tns_per_violation());
+    }
+  };
+
+  struct Row {
+    std::string name;
+    std::vector<double> wns, tns_nvp;
+  };
+  std::vector<Row> rows;
+
+  {
+    Row real{"Real designs", {}, {}};
+    auto all = bench::full_corpus();
+    std::vector<graph::Graph> graphs;
+    for (auto& d : all) graphs.push_back(std::move(d.graph));
+    timing_stats(graphs, real.wns, real.tns_nvp);
+    rows.push_back(std::move(real));
+  }
+  {
+    std::cout << "fitting GraphRNN...\n" << std::flush;
+    baselines::GraphRnn model(bench::graphrnn_config());
+    model.fit(split.train);
+    core::AttrSampler attrs;
+    attrs.fit(split.train);
+    Row row{"GraphRNN", {}, {}};
+    timing_stats(bench::generate_set(model, attrs, kSetSize, kNodeLo, kNodeHi, 0xaa),
+                 row.wns, row.tns_nvp);
+    rows.push_back(std::move(row));
+  }
+  {
+    std::cout << "fitting DVAE...\n" << std::flush;
+    baselines::Dvae model(bench::dvae_config());
+    model.fit(split.train);
+    core::AttrSampler attrs;
+    attrs.fit(split.train);
+    Row row{"DVAE", {}, {}};
+    timing_stats(bench::generate_set(model, attrs, kSetSize, kNodeLo, kNodeHi, 0xbb),
+                 row.wns, row.tns_nvp);
+    rows.push_back(std::move(row));
+  }
+  {
+    std::cout << "fitting SynCircuit (w/ opt)...\n" << std::flush;
+    core::SynCircuitGenerator model(bench::syncircuit_config(true, true));
+    model.fit(split.train);
+    Row row{"SynCircuit", {}, {}};
+    timing_stats(
+        bench::generate_set(model, model.attr_sampler(), kSetSize, kNodeLo,
+                            kNodeHi, 0xcc),
+        row.wns, row.tns_nvp);
+    rows.push_back(std::move(row));
+  }
+
+  std::cout << "\n--- Fig 5(a): WNS distribution (ns) ---\n";
+  util::Table wns_table({"dataset", "mean", "p25", "median", "p75", "min"});
+  for (const auto& row : rows) {
+    const auto s = util::summarize(row.wns);
+    wns_table.add_row({row.name, util::fmt_sig(s.mean), util::fmt_sig(s.p25),
+                       util::fmt_sig(s.median), util::fmt_sig(s.p75),
+                       util::fmt_sig(s.min)});
+  }
+  wns_table.print(std::cout);
+  for (const auto& row : rows) {
+    std::cout << "\n" << row.name << " WNS histogram:\n";
+    util::Histogram h(-4.0, 1.0, 10);
+    h.add_all(row.wns);
+    std::cout << h.render(40);
+  }
+
+  std::cout << "\n--- Fig 5(b): TNS / #violating-paths distribution (ns) ---\n";
+  util::Table tns_table({"dataset", "mean", "p25", "median", "p75", "min"});
+  for (const auto& row : rows) {
+    const auto s = util::summarize(row.tns_nvp);
+    tns_table.add_row({row.name, util::fmt_sig(s.mean), util::fmt_sig(s.p25),
+                       util::fmt_sig(s.median), util::fmt_sig(s.p75),
+                       util::fmt_sig(s.min)});
+  }
+  tns_table.print(std::cout);
+
+  std::cout << "\nPaper shape: GraphRNN/DVAE cluster near zero on both "
+               "metrics; SynCircuit overlaps the real distribution.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// kernels: bit-blasting, optimization passes, STA, diffusion denoising,
+// the MCTS swap/reward loop and Phase 2 repair.
+#include <benchmark/benchmark.h>
+
+#include "core/postprocess.hpp"
+#include "core/generator.hpp"
+#include "diffusion/denoiser.hpp"
+#include "graph/adjacency.hpp"
+#include "mcts/discriminator.hpp"
+#include "mcts/mcts.hpp"
+#include "rtl/generators.hpp"
+#include "sta/sta.hpp"
+#include "synth/bitblast.hpp"
+#include "synth/passes.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+using namespace syn;
+
+void BM_Bitblast(benchmark::State& state) {
+  const auto g = rtl::make_alu(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::bitblast(g));
+  }
+}
+BENCHMARK(BM_Bitblast)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OptimizePasses(benchmark::State& state) {
+  const auto nl = synth::bitblast(rtl::make_alu(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::optimize(nl));
+  }
+}
+BENCHMARK(BM_OptimizePasses)->Arg(8)->Arg(16);
+
+void BM_FullSynthesis(benchmark::State& state) {
+  const auto g = rtl::make_register_file(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::synthesize_stats(g));
+  }
+}
+BENCHMARK(BM_FullSynthesis)->Arg(8)->Arg(16);
+
+void BM_Sta(benchmark::State& state) {
+  const auto result = synth::synthesize(rtl::make_alu(16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sta::analyze(result.netlist, {.clock_period_ns = 1.0}));
+  }
+}
+BENCHMARK(BM_Sta);
+
+void BM_DenoiserStep(benchmark::State& state) {
+  util::Rng rng(1);
+  diffusion::Denoiser den({.mpnn_layers = 3, .hidden = 32, .time_dim = 16},
+                          rng);
+  const auto g = rtl::make_register_file(8, 8);
+  const auto attrs = graph::attrs_of(g);
+  const auto adj = graph::to_adjacency(g);
+  const auto features = diffusion::Denoiser::node_features(attrs);
+  const auto parents = diffusion::Denoiser::parent_lists(adj);
+  std::vector<diffusion::Pair> pairs;
+  std::vector<std::uint8_t> bits;
+  for (std::uint32_t i = 0; i < attrs.size(); ++i) {
+    for (std::uint32_t j = 0; j < attrs.size(); ++j) {
+      if (i != j) {
+        pairs.push_back({i, j});
+        bits.push_back(adj.at(i, j) ? 1 : 0);
+      }
+    }
+  }
+  for (auto _ : state) {
+    const auto h = den.encode(features, parents, 3);
+    benchmark::DoNotOptimize(den.decode(h, pairs, bits, 3));
+  }
+}
+BENCHMARK(BM_DenoiserStep);
+
+void BM_Phase2Repair(benchmark::State& state) {
+  util::Rng rng(2);
+  core::AttrSampler sampler;
+  sampler.fit(rtl::corpus_graphs({.seed = 1}));
+  const auto attrs = sampler.sample(static_cast<std::size_t>(state.range(0)),
+                                    rng);
+  graph::AdjacencyMatrix gini(attrs.size());
+  nn::Matrix probs(attrs.size(), attrs.size());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    for (std::size_t j = 0; j < attrs.size(); ++j) {
+      if (i != j) gini.set(i, j, rng.bernoulli(0.02));
+      probs.at(i, j) = static_cast<float>(rng.uniform());
+    }
+  }
+  for (auto _ : state) {
+    util::Rng r(3);
+    benchmark::DoNotOptimize(core::repair_to_valid(attrs, gini, probs, r));
+  }
+}
+BENCHMARK(BM_Phase2Repair)->Arg(64)->Arg(128);
+
+void BM_SwapAction(benchmark::State& state) {
+  util::Rng rng(4);
+  core::AttrSampler sampler;
+  sampler.fit(rtl::corpus_graphs({.seed = 1}));
+  const auto attrs = sampler.sample(64, rng);
+  graph::AdjacencyMatrix gini(attrs.size());
+  nn::Matrix probs(attrs.size(), attrs.size());
+  for (auto& v : probs.data()) v = static_cast<float>(rng.uniform());
+  auto g = core::repair_to_valid(attrs, gini, probs, rng);
+  for (auto _ : state) {
+    mcts::SwapAction a;
+    a.child_a = static_cast<graph::NodeId>(rng.uniform_int(g.num_nodes()));
+    a.child_b = static_cast<graph::NodeId>(rng.uniform_int(g.num_nodes()));
+    if (g.fanins(a.child_a).empty() || g.fanins(a.child_b).empty()) continue;
+    a.slot_a = static_cast<int>(rng.uniform_int(g.fanins(a.child_a).size()));
+    a.slot_b = static_cast<int>(rng.uniform_int(g.fanins(a.child_b).size()));
+    benchmark::DoNotOptimize(mcts::apply_swap(g, a));
+  }
+}
+BENCHMARK(BM_SwapAction);
+
+void BM_PcsFeatures(benchmark::State& state) {
+  const auto g = rtl::make_register_file(16, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcts::pcs_features(g));
+  }
+}
+BENCHMARK(BM_PcsFeatures);
+
+}  // namespace

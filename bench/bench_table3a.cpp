@@ -1,0 +1,7 @@
+// Table III(a): PPA prediction, basic training set = 15 real designs.
+#include "bench_table3_common.hpp"
+
+int main() {
+  syn::bench::run_table3(15, "a");
+  return 0;
+}

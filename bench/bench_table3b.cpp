@@ -1,0 +1,7 @@
+// Table III(b): PPA prediction, basic training set = 5 real designs.
+#include "bench_table3_common.hpp"
+
+int main() {
+  syn::bench::run_table3(5, "b");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Dataset generation: the paper's headline use case — produce an
+// unlimited stream of valid synthetic RTL designs for ML training.
+//
+// Trains on the built-in 22-design corpus and writes N Verilog files to
+// ./synthetic_dataset/ (N defaults to 5; pass a count as argv[1]).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/syncircuit.hpp"
+#include "graph/validity.hpp"
+#include "rtl/generators.hpp"
+#include "rtl/verilog.hpp"
+#include "synth/synthesizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace syn;
+  const int count = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  std::cout << "building the 22-design training corpus...\n";
+  const auto corpus = rtl::corpus_graphs({.seed = 1});
+
+  core::SynCircuitConfig config;
+  config.diffusion.steps = 6;
+  config.diffusion.denoiser = {.mpnn_layers = 3, .hidden = 32, .time_dim = 16};
+  config.diffusion.epochs = 8;
+  config.mcts = {.simulations = 40, .max_depth = 8, .actions_per_state = 8,
+                 .max_registers = 6};
+  config.seed = 7;
+  core::SynCircuitGenerator generator(config);
+  std::cout << "fitting SynCircuit (diffusion + discriminator)...\n";
+  generator.fit(corpus);
+
+  const std::filesystem::path dir = "synthetic_dataset";
+  std::filesystem::create_directories(dir);
+
+  util::Rng rng(99);
+  for (int i = 0; i < count; ++i) {
+    const auto attrs =
+        generator.attr_sampler().sample(60 + 20 * (i % 3), rng);
+    graph::Graph g = generator.generate(attrs, rng);
+    g.set_name("synthetic_" + std::to_string(i));
+    if (!graph::is_valid(g)) {
+      std::cerr << "internal error: invalid circuit generated\n";
+      return 1;
+    }
+    const auto stats = synth::synthesize_stats(g);
+    const auto path = dir / (g.name() + ".v");
+    std::ofstream(path) << rtl::to_verilog(g);
+    std::cout << path.string() << ": " << g.num_nodes() << " nodes, "
+              << stats.gates_final << " gates, SCPR "
+              << static_cast<int>(stats.scpr() * 100) << "%\n";
+  }
+  std::cout << "done — " << count << " synthesizable designs written.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Downstream-task demo: augmenting a tiny PPA-prediction training set with
+// SynCircuit-generated pseudo-circuits (the Table III use case, scaled to
+// run in under a minute).
+#include <cmath>
+#include <iostream>
+
+#include "core/syncircuit.hpp"
+#include "ppa/experiment.hpp"
+#include "rtl/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace syn;
+
+  // 5 real designs for training, 6 for testing — a deliberately
+  // data-starved setting where augmentation matters most.
+  const auto corpus = rtl::corpus_graphs({.seed = 1});
+  std::vector<graph::Graph> train(corpus.begin(), corpus.begin() + 5);
+  std::vector<graph::Graph> test(corpus.begin() + 16, corpus.end());
+
+  core::SynCircuitConfig config;
+  config.diffusion.steps = 6;
+  config.diffusion.denoiser = {.mpnn_layers = 3, .hidden = 24, .time_dim = 8};
+  config.diffusion.epochs = 8;
+  config.mcts = {.simulations = 30, .max_depth = 8, .actions_per_state = 6,
+                 .max_registers = 5};
+  config.seed = 11;
+  core::SynCircuitGenerator generator(config);
+  std::cout << "fitting SynCircuit on the 5 training designs...\n";
+  generator.fit(train);
+
+  std::cout << "generating 10 pseudo-circuits...\n";
+  std::vector<graph::Graph> augmentation;
+  util::Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    augmentation.push_back(
+        generator.generate(generator.attr_sampler().sample(60, rng), rng));
+  }
+
+  std::cout << "labeling and training PPA predictors...\n\n";
+  const auto baseline = ppa::run_ppa_experiment(train, {}, test);
+  const auto augmented = ppa::run_ppa_experiment(train, augmentation, test);
+
+  util::Table table({"target", "R (basic)", "R (augmented)", "MAPE (basic)",
+                     "MAPE (augmented)", "RRSE (basic)", "RRSE (augmented)"});
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto& b = baseline.targets[t];
+    const auto& a = augmented.targets[t];
+    auto fmt_r = [](double r) {
+      return std::isnan(r) ? std::string("NA") : util::fmt_fixed(r, 2);
+    };
+    table.add_row({ppa::kTargetNames[t], fmt_r(b.r), fmt_r(a.r),
+                   util::fmt_pct(b.mape), util::fmt_pct(a.mape),
+                   util::fmt_fixed(b.rrse, 2), util::fmt_fixed(a.rrse, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nWith only 5 real designs the augmented model should "
+               "improve (or at least hold) on most targets — the Table III(b) "
+               "effect.\n";
+  return 0;
+}

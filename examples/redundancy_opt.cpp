@@ -1,0 +1,70 @@
+// Phase 3 walkthrough: take a deliberately redundant valid circuit
+// (G_val), show its poor SCPR, and watch MCTS recover preserved registers
+// — the Fig 4 story on a single design, with both the exact synthesis
+// reward and the learned discriminator.
+#include <iostream>
+
+#include "core/postprocess.hpp"
+#include "core/generator.hpp"
+#include "mcts/discriminator.hpp"
+#include "mcts/mcts.hpp"
+#include "rtl/generators.hpp"
+#include "synth/synthesizer.hpp"
+
+int main() {
+  using namespace syn;
+
+  // A "bad" G_val: random repair with no generative signal.
+  util::Rng rng(5);
+  core::AttrSampler sampler;
+  sampler.fit(rtl::corpus_graphs({.seed = 1}));
+  const auto attrs = sampler.sample(70, rng);
+  graph::AdjacencyMatrix empty(attrs.size());
+  nn::Matrix probs(attrs.size(), attrs.size());
+  for (auto& v : probs.data()) v = static_cast<float>(rng.uniform());
+  const graph::Graph gval = core::repair_to_valid(attrs, empty, probs, rng);
+
+  const auto before = synth::synthesize_stats(gval);
+  std::cout << "G_val: " << gval.num_nodes() << " nodes, "
+            << before.pre_reg_bits << " register bits\n"
+            << "  SCPR before optimization: "
+            << static_cast<int>(before.scpr() * 100) << "%\n"
+            << "  PCS before optimization:  " << before.pcs() << "\n\n";
+
+  const mcts::MctsConfig config{.simulations = 60, .max_depth = 10,
+                                .actions_per_state = 8, .max_registers = 8};
+
+  // Exact synthesis reward (slow but ground truth).
+  std::cout << "MCTS with exact synthesis reward...\n";
+  util::Rng rng_exact(6);
+  const auto opt_exact = mcts::optimize_registers(
+      gval, config, mcts::exact_pcs_reward(), rng_exact);
+  const auto after_exact = synth::synthesize_stats(opt_exact);
+  std::cout << "  SCPR after:  " << static_cast<int>(after_exact.scpr() * 100)
+            << "%   PCS after: " << after_exact.pcs() << "\n\n";
+
+  // Discriminator reward (the paper's speed-up).
+  std::cout << "training PCS discriminator...\n";
+  std::vector<graph::Graph> disc_train = rtl::corpus_graphs({.seed = 2});
+  for (int i = 0; i < 10; ++i) {
+    const auto a = sampler.sample(50, rng);
+    graph::AdjacencyMatrix e(a.size());
+    nn::Matrix p(a.size(), a.size());
+    for (auto& v : p.data()) v = static_cast<float>(rng.uniform());
+    disc_train.push_back(core::repair_to_valid(a, e, p, rng));
+  }
+  mcts::PcsDiscriminator discriminator(17);
+  discriminator.fit(disc_train);
+
+  std::cout << "MCTS with discriminator reward...\n";
+  util::Rng rng_disc(7);
+  const auto opt_disc = mcts::optimize_registers(
+      gval, config, discriminator.as_reward(), rng_disc);
+  const auto after_disc = synth::synthesize_stats(opt_disc);
+  std::cout << "  SCPR after:  " << static_cast<int>(after_disc.scpr() * 100)
+            << "%   PCS after: " << after_disc.pcs() << "\n\n"
+            << "Both rewards lift SCPR well above the unoptimized G_val; the "
+               "discriminator run avoids any synthesis call inside the "
+               "search loop.\n";
+  return 0;
+}

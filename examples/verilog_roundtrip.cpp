@@ -1,0 +1,42 @@
+// The HDL bijection f : D <-> G (paper §II) in action: build a design,
+// emit Verilog, parse it back, verify structural equality, and push the
+// parsed graph through synthesis + timing — demonstrating that generated
+// designs are consumable by ordinary RTL tooling.
+#include <iostream>
+
+#include "graph/validity.hpp"
+#include "rtl/generators.hpp"
+#include "rtl/verilog.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesizer.hpp"
+
+int main() {
+  using namespace syn;
+
+  const graph::Graph design = rtl::make_uart_tx(8, "uart_demo");
+  std::cout << "design: " << design.name() << " (" << design.num_nodes()
+            << " nodes, " << design.num_edges() << " edges)\n\n";
+
+  const std::string verilog = rtl::to_verilog(design);
+  std::cout << verilog << "\n";
+
+  const graph::Graph parsed = rtl::from_verilog(verilog);
+  std::cout << "round trip: parsed graph "
+            << (parsed == design ? "EQUALS" : "DIFFERS FROM")
+            << " the original.\n";
+  std::cout << "validity: " << (graph::is_valid(parsed) ? "ok" : "violated")
+            << "\n\n";
+
+  const auto result = synth::synthesize(parsed);
+  std::cout << "synthesis: " << result.stats.gates_elaborated
+            << " elaborated gates -> " << result.stats.gates_final
+            << " after optimization, area " << result.stats.area
+            << " um^2, " << result.stats.seq_cells << " flip-flops (SCPR "
+            << static_cast<int>(result.stats.scpr() * 100) << "%)\n";
+
+  const auto timing = sta::analyze(result.netlist, {.clock_period_ns = 1.0});
+  std::cout << "timing @ 1.0 ns: WNS = " << timing.wns
+            << " ns, TNS = " << timing.tns << " ns across "
+            << timing.endpoints << " endpoints\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// GraphMaker-v baseline (Li et al., adapted per paper §VII-A).
+//
+// One-shot attribute-conditioned generation of an *undirected* graph: a
+// symmetric MLP pair scorer is trained on the symmetrized adjacency, edges
+// are sampled independently, directions come from the gravity-inspired
+// orienter, and validity is restored by ordered Phase-2-style repair.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/gravity.hpp"
+#include "core/generator.hpp"
+#include "nn/layers.hpp"
+
+namespace syn::baselines {
+
+struct GraphMakerConfig {
+  std::size_t hidden = 32;
+  int epochs = 60;
+  double lr = 3e-3;
+  std::size_t negatives_per_positive = 4;
+  std::uint64_t seed = 4;
+};
+
+class GraphMaker : public core::GeneratorModel {
+ public:
+  explicit GraphMaker(GraphMakerConfig config);
+
+  void fit(const std::vector<graph::Graph>& corpus) override;
+  graph::Graph generate(const graph::NodeAttrs& attrs,
+                        util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "GraphMaker-v"; }
+
+ private:
+  /// Symmetric pair logits for pairs (i < j): uses ei ⊙ ej and ei + ej.
+  [[nodiscard]] nn::Tensor pair_logits(
+      const nn::Tensor& emb,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) const;
+
+  GraphMakerConfig config_;
+  util::Rng rng_;
+  nn::Mlp embed_;   // node features -> hidden
+  nn::Mlp scorer_;  // 2*hidden -> 1
+  GravityOrienter gravity_;
+  bool fitted_ = false;
+};
+
+}  // namespace syn::baselines

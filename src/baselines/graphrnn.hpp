@@ -1,0 +1,51 @@
+// GraphRNN baseline (You et al., adapted per paper §VII-A).
+//
+// Node-level GRU over a fixed-size edge window: at step k the cell
+// consumes the previous node's incoming-edge vector plus the current
+// node's attributes and predicts which of the W most recent nodes drive
+// node k. Cycles in training circuits are broken (register-input edges
+// against the order are dropped) and generation follows the topological
+// attribute order, so — exactly as the paper observes — the generated
+// graphs are acyclic.
+#pragma once
+
+#include <cstdint>
+
+#include "core/generator.hpp"
+#include "nn/layers.hpp"
+
+namespace syn::baselines {
+
+struct GraphRnnConfig {
+  std::size_t window = 12;  // W most recent nodes scored per step
+  std::size_t hidden = 32;
+  int epochs = 15;
+  double lr = 2e-3;
+  std::uint64_t seed = 2;
+};
+
+class GraphRnn : public core::GeneratorModel {
+ public:
+  explicit GraphRnn(GraphRnnConfig config);
+
+  void fit(const std::vector<graph::Graph>& corpus) override;
+  graph::Graph generate(const graph::NodeAttrs& attrs,
+                        util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "GraphRNN"; }
+
+  [[nodiscard]] const std::vector<double>& epoch_losses() const {
+    return losses_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t input_dim() const;
+
+  GraphRnnConfig config_;
+  util::Rng rng_;
+  nn::GruCell cell_;
+  nn::Mlp head_;  // hidden -> window logits
+  std::vector<double> losses_;
+  bool fitted_ = false;
+};
+
+}  // namespace syn::baselines

@@ -1,0 +1,56 @@
+#include "baselines/gravity.hpp"
+
+#include <stdexcept>
+
+namespace syn::baselines {
+
+using graph::AdjacencyMatrix;
+using graph::NodeAttrs;
+using graph::NodeType;
+
+void GravityOrienter::fit(const std::vector<graph::Graph>& corpus) {
+  for (auto& row : counts_) row.fill(0.5);  // Laplace smoothing
+  for (const auto& g : corpus) {
+    for (const auto& [from, to] : g.edges()) {
+      counts_[static_cast<std::size_t>(g.type(from))]
+             [static_cast<std::size_t>(g.type(to))] += 1.0;
+    }
+  }
+  fitted_ = true;
+}
+
+double GravityOrienter::forward_probability(NodeType tu, NodeType tv) const {
+  if (!fitted_) throw std::logic_error("GravityOrienter used before fit");
+  const double fwd =
+      counts_[static_cast<std::size_t>(tu)][static_cast<std::size_t>(tv)];
+  const double rev =
+      counts_[static_cast<std::size_t>(tv)][static_cast<std::size_t>(tu)];
+  return fwd / (fwd + rev);
+}
+
+GravityOrienter::Oriented GravityOrienter::orient(
+    const NodeAttrs& attrs, const AdjacencyMatrix& undirected,
+    const nn::Matrix& undirected_prob, util::Rng& rng) const {
+  const std::size_t n = attrs.size();
+  Oriented out{AdjacencyMatrix(n), nn::Matrix(n, n)};
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double p_fwd = forward_probability(attrs.types[u], attrs.types[v]);
+      const bool present = undirected.at(u, v) || undirected.at(v, u);
+      if (present) {
+        if (rng.bernoulli(p_fwd)) {
+          out.adjacency.set(u, v, true);
+        } else {
+          out.adjacency.set(v, u, true);
+        }
+      }
+      const float p_edge =
+          std::max(undirected_prob.at(u, v), undirected_prob.at(v, u));
+      out.edge_prob.at(u, v) = static_cast<float>(p_edge * p_fwd);
+      out.edge_prob.at(v, u) = static_cast<float>(p_edge * (1.0 - p_fwd));
+    }
+  }
+  return out;
+}
+
+}  // namespace syn::baselines

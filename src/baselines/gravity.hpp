@@ -1,0 +1,50 @@
+// Gravity-inspired direction assignment for undirected baselines
+// (paper §VII-A: GraphMaker and SparseDigress generate undirected graphs;
+// directions are assigned following Salha et al.'s gravity-inspired
+// autoencoder idea).
+//
+// Each node type carries a learned "mass" — here the empirical tendency of
+// the type to act as an edge target — estimated from the training corpus'
+// directed type-pair frequencies. An undirected edge {u, v} is oriented
+// u -> v with probability proportional to the corpus frequency of
+// (type_u -> type_v).
+#pragma once
+
+#include <array>
+
+#include "graph/adjacency.hpp"
+#include "graph/dcg.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace syn::baselines {
+
+class GravityOrienter {
+ public:
+  void fit(const std::vector<graph::Graph>& corpus);
+
+  /// P(u -> v | edge between u and v) from the type-pair statistics.
+  [[nodiscard]] double forward_probability(graph::NodeType tu,
+                                           graph::NodeType tv) const;
+
+  /// Orients an undirected adjacency (upper-triangle interpreted as edge
+  /// presence) into a directed one, and converts an undirected edge
+  /// probability map into directed probabilities for Phase-2-style repair.
+  struct Oriented {
+    graph::AdjacencyMatrix adjacency;
+    nn::Matrix edge_prob;
+  };
+  [[nodiscard]] Oriented orient(const graph::NodeAttrs& attrs,
+                                const graph::AdjacencyMatrix& undirected,
+                                const nn::Matrix& undirected_prob,
+                                util::Rng& rng) const;
+
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+ private:
+  std::array<std::array<double, graph::kNumNodeTypes>, graph::kNumNodeTypes>
+      counts_{};
+  bool fitted_ = false;
+};
+
+}  // namespace syn::baselines

@@ -1,0 +1,49 @@
+#include "baselines/ordering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace syn::baselines {
+
+using graph::NodeAttrs;
+using graph::NodeId;
+using graph::NodeType;
+
+std::vector<NodeId> dag_training_order(const graph::Graph& g) {
+  const auto order = graph::comb_topo_order(g);
+  if (!order) {
+    throw std::invalid_argument("dag_training_order: combinational loop");
+  }
+  return *order;
+}
+
+std::vector<std::size_t> generation_order(const NodeAttrs& attrs) {
+  auto rank = [](NodeType t) {
+    if (graph::is_source(t)) return 0;
+    if (graph::is_sequential(t)) return 1;
+    if (graph::is_sink(t)) return 3;
+    return 2;
+  };
+  std::vector<std::size_t> perm(attrs.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    return rank(attrs.types[a]) < rank(attrs.types[b]);
+  });
+  return perm;
+}
+
+NodeAttrs permute_attrs(const NodeAttrs& attrs,
+                        const std::vector<std::size_t>& perm) {
+  NodeAttrs out;
+  out.types.reserve(attrs.size());
+  out.widths.reserve(attrs.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    out.types.push_back(attrs.types[perm[k]]);
+    out.widths.push_back(attrs.widths[perm[k]]);
+  }
+  return out;
+}
+
+}  // namespace syn::baselines

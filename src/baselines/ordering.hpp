@@ -1,0 +1,31 @@
+// Node-ordering utilities for the autoregressive (DAG-only) baselines.
+//
+// GraphRNN and D-VAE cannot represent cycles: the paper adapts them by
+// breaking cycles in the training circuits and generating nodes in
+// topological order, with edge direction implied by position. These
+// helpers produce that order for training graphs and a plausible
+// generation order for attribute sets (sources first, outputs last).
+#pragma once
+
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "graph/dcg.hpp"
+
+namespace syn::baselines {
+
+/// Topological-ish order of a valid circuit with cycles broken at
+/// register inputs: position[i] < position[j] for every retained edge
+/// i -> j. Returns node ids in order.
+std::vector<graph::NodeId> dag_training_order(const graph::Graph& g);
+
+/// Permutation for generating from an attribute set: inputs and constants
+/// first, then registers, then combinational nodes, outputs last.
+/// perm[k] = original attr index placed at position k.
+std::vector<std::size_t> generation_order(const graph::NodeAttrs& attrs);
+
+/// Applies a permutation to attributes (position k gets attrs[perm[k]]).
+graph::NodeAttrs permute_attrs(const graph::NodeAttrs& attrs,
+                               const std::vector<std::size_t>& perm);
+
+}  // namespace syn::baselines

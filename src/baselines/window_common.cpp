@@ -1,0 +1,85 @@
+#include "baselines/window_common.hpp"
+
+#include <algorithm>
+
+#include "baselines/ordering.hpp"
+#include "graph/node_type.hpp"
+
+namespace syn::baselines {
+
+using graph::Graph;
+using graph::NodeAttrs;
+using graph::NodeId;
+using graph::NodeType;
+
+WindowSequence build_window_sequence(const Graph& g, std::size_t window) {
+  const auto order = dag_training_order(g);
+  std::vector<std::size_t> pos(g.num_nodes());
+  for (std::size_t k = 0; k < order.size(); ++k) pos[order[k]] = k;
+
+  WindowSequence seq;
+  seq.ordered_attrs.types.reserve(order.size());
+  seq.ordered_attrs.widths.reserve(order.size());
+  seq.targets.assign(order.size(), std::vector<float>(window, 0.0f));
+  seq.valid.resize(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const NodeId node = order[k];
+    seq.ordered_attrs.types.push_back(g.type(node));
+    seq.ordered_attrs.widths.push_back(
+        static_cast<std::uint16_t>(g.width(node)));
+    seq.valid[k] = std::min(window, k);
+    for (NodeId parent : g.fanins(node)) {
+      if (parent == graph::kNoNode) continue;
+      // Cycle-breaking: drop edges that go against the order (these are
+      // exactly the register feedback edges).
+      if (pos[parent] >= k) continue;
+      const std::size_t d = k - 1 - pos[parent];
+      if (d < window) seq.targets[k][d] = 1.0f;
+    }
+  }
+  return seq;
+}
+
+std::size_t window_input_dim(std::size_t window) {
+  return window + static_cast<std::size_t>(graph::kNumNodeTypes) + 1;
+}
+
+nn::Matrix window_step_input(const std::vector<float>& prev_edges,
+                             NodeType type, std::uint16_t width,
+                             std::size_t window) {
+  nn::Matrix x(1, window_input_dim(window));
+  for (std::size_t d = 0; d < window && d < prev_edges.size(); ++d) {
+    x.at(0, d) = prev_edges[d];
+  }
+  x.at(0, window + static_cast<std::size_t>(type)) = 1.0f;
+  x.at(0, window + graph::kNumNodeTypes) =
+      static_cast<float>(std::log2(1.0 + width) / 6.0);
+  return x;
+}
+
+Graph unpermute_graph(const Graph& permuted,
+                      const std::vector<std::size_t>& perm,
+                      std::string name) {
+  Graph g(std::move(name));
+  // perm[k] = original index; create original-order nodes first.
+  std::vector<NodeId> position_of_original(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    position_of_original[perm[k]] = static_cast<NodeId>(k);
+  }
+  for (std::size_t o = 0; o < perm.size(); ++o) {
+    const NodeId k = position_of_original[o];
+    g.add_node(permuted.type(k), permuted.width(k), permuted.param(k));
+  }
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    const auto& fanins = permuted.fanins(static_cast<NodeId>(k));
+    for (std::size_t s = 0; s < fanins.size(); ++s) {
+      if (fanins[s] != graph::kNoNode) {
+        g.set_fanin(static_cast<NodeId>(perm[k]), static_cast<int>(s),
+                    static_cast<NodeId>(perm[fanins[s]]));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace syn::baselines

@@ -1,0 +1,44 @@
+// Shared machinery for the window-autoregressive baselines (GraphRNN and
+// D-VAE): training sequences over topological order and per-step input
+// encoding.
+#pragma once
+
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "graph/dcg.hpp"
+#include "nn/matrix.hpp"
+
+namespace syn::baselines {
+
+/// Per-step supervised targets for one training graph.
+struct WindowSequence {
+  graph::NodeAttrs ordered_attrs;
+  /// targets[k][d] = 1 iff node at position k-1-d drives node k
+  /// (d = 0 is the immediately preceding node). Entries beyond the start
+  /// of the sequence are masked out by `valid[k]`.
+  std::vector<std::vector<float>> targets;
+  std::vector<std::size_t> valid;  // number of meaningful bits at step k
+};
+
+/// Builds the training sequence: order nodes topologically (cycles broken
+/// at register inputs) and record forward edges within the window.
+WindowSequence build_window_sequence(const graph::Graph& g,
+                                     std::size_t window);
+
+/// 1 x (window + #types + 1) input row for one step: previous node's edge
+/// vector, one-hot of the current node type, width feature.
+nn::Matrix window_step_input(const std::vector<float>& prev_edges,
+                             graph::NodeType type, std::uint16_t width,
+                             std::size_t window);
+
+/// Input dimension of window_step_input.
+std::size_t window_input_dim(std::size_t window);
+
+/// Rebuilds a graph in the original attribute order after generating in
+/// permuted order: perm[k] = original index of the node at position k.
+graph::Graph unpermute_graph(const graph::Graph& permuted,
+                             const std::vector<std::size_t>& perm,
+                             std::string name);
+
+}  // namespace syn::baselines

@@ -1,0 +1,65 @@
+#include "core/generator.hpp"
+
+#include <stdexcept>
+
+namespace syn::core {
+
+using graph::NodeAttrs;
+using graph::NodeType;
+
+void AttrSampler::fit(const std::vector<graph::Graph>& corpus) {
+  pool_.clear();
+  for (const auto& g : corpus) {
+    for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+      pool_.emplace_back(g.type(i), static_cast<std::uint16_t>(g.width(i)));
+    }
+  }
+  if (pool_.empty()) throw std::invalid_argument("AttrSampler: empty corpus");
+}
+
+NodeAttrs AttrSampler::sample(std::size_t num_nodes, util::Rng& rng) const {
+  if (!fitted()) throw std::logic_error("AttrSampler::sample before fit");
+  NodeAttrs attrs;
+  attrs.types.resize(num_nodes);
+  attrs.widths.resize(num_nodes);
+  bool has_in = false, has_out = false, has_reg = false;
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const auto& [t, w] = pool_[rng.uniform_int(pool_.size())];
+    attrs.types[i] = t;
+    attrs.widths[i] = w;
+    has_in = has_in || t == NodeType::kInput;
+    has_out = has_out || t == NodeType::kOutput;
+    has_reg = has_reg || t == NodeType::kReg;
+  }
+  // Patch in the structural minimum at random positions if missing.
+  auto force = [&](NodeType t) {
+    const std::size_t pos = rng.uniform_int(num_nodes);
+    attrs.types[pos] = t;
+    attrs.widths[pos] = static_cast<std::uint16_t>(1 + rng.uniform_int(8));
+  };
+  if (!has_in) force(NodeType::kInput);
+  if (!has_out) force(NodeType::kOutput);
+  if (!has_reg) force(NodeType::kReg);
+  // The three patches can collide only when num_nodes < 3; require more.
+  if (num_nodes < 4) throw std::invalid_argument("need >= 4 nodes");
+  // Re-check after patching (collisions possible); repair deterministically.
+  auto ensure = [&](NodeType t) {
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      if (attrs.types[i] == t) return;
+    }
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      const NodeType cur = attrs.types[i];
+      if (cur != NodeType::kInput && cur != NodeType::kOutput &&
+          cur != NodeType::kReg) {
+        attrs.types[i] = t;
+        return;
+      }
+    }
+  };
+  ensure(NodeType::kInput);
+  ensure(NodeType::kOutput);
+  ensure(NodeType::kReg);
+  return attrs;
+}
+
+}  // namespace syn::core

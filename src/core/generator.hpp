@@ -1,0 +1,49 @@
+// Common interface for all circuit generative models (SynCircuit and the
+// four baselines), so the evaluation harness treats them uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "graph/dcg.hpp"
+#include "util/rng.hpp"
+
+namespace syn::core {
+
+class GeneratorModel {
+ public:
+  virtual ~GeneratorModel() = default;
+
+  /// Learns P(G | V, X) from real circuit graphs.
+  virtual void fit(const std::vector<graph::Graph>& corpus) = 0;
+
+  /// Generates one valid synthetic circuit conditioned on node attributes.
+  virtual graph::Graph generate(const graph::NodeAttrs& attrs,
+                                util::Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Empirical (type, width) sampler fitted on a corpus; used to draw the
+/// conditioning attributes X when the user only specifies a node count V
+/// (paper §II: "use the P(X) distribution from the real design or set it
+/// according to the user's specifications").
+class AttrSampler {
+ public:
+  void fit(const std::vector<graph::Graph>& corpus);
+
+  /// Draws `num_nodes` attributes. Guarantees the sample is usable as a
+  /// circuit skeleton: at least one input, one output and one register.
+  [[nodiscard]] graph::NodeAttrs sample(std::size_t num_nodes,
+                                        util::Rng& rng) const;
+
+  [[nodiscard]] bool fitted() const { return !pool_.empty(); }
+
+ private:
+  // Empirical joint distribution, stored as the flattened pool of observed
+  // (type, width) pairs.
+  std::vector<std::pair<graph::NodeType, std::uint16_t>> pool_;
+};
+
+}  // namespace syn::core

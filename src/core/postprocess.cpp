@@ -1,0 +1,99 @@
+#include "core/postprocess.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/node_type.hpp"
+
+namespace syn::core {
+
+using graph::AdjacencyMatrix;
+using graph::Graph;
+using graph::kNoNode;
+using graph::NodeAttrs;
+using graph::NodeId;
+using graph::NodeType;
+
+namespace {
+
+/// True if parent j may legally drive node i in the current partial graph.
+bool legal_parent(const Graph& g, NodeId j, NodeId i) {
+  if (graph::is_sink(g.type(j))) return false;  // outputs drive nothing
+  if (g.has_edge(j, i)) return false;           // one slot per parent
+  return !graph::edge_creates_comb_loop(g, j, i);
+}
+
+}  // namespace
+
+Graph repair_to_valid(const NodeAttrs& attrs, const AdjacencyMatrix& gini,
+                      const nn::Matrix& edge_prob, util::Rng& rng,
+                      RepairStats* stats) {
+  const std::size_t n = attrs.size();
+  if (gini.size() != n || edge_prob.rows() != n || edge_prob.cols() != n) {
+    throw std::invalid_argument("repair_to_valid: shape mismatch");
+  }
+  Graph g = graph::skeleton_from_attrs(attrs, "gval");
+  RepairStats local;
+
+  for (NodeId i = 0; i < n; ++i) {
+    const int slots = graph::arity(g.type(i));
+    if (slots == 0) continue;
+
+    // Parents proposed by G_ini, highest probability first (jittered so
+    // equal probabilities don't always resolve to the same parent).
+    std::vector<NodeId> proposed;
+    for (NodeId j = 0; j < n; ++j) {
+      if (j != i && gini.at(j, i)) proposed.push_back(j);
+    }
+    auto prob_of = [&](NodeId j) {
+      return static_cast<double>(edge_prob.at(j, i)) +
+             1e-9 * rng.uniform();
+    };
+    std::vector<std::pair<double, NodeId>> ranked;
+    ranked.reserve(proposed.size());
+    for (NodeId j : proposed) ranked.emplace_back(prob_of(j), j);
+    std::sort(ranked.begin(), ranked.end(), std::greater<>());
+
+    // The paper keeps nodes whose G_ini fan-in is already valid: exactly
+    // `slots` proposed parents, all individually legal.
+    int used = 0;
+    const bool exact_count = static_cast<int>(ranked.size()) == slots;
+    for (const auto& [p, j] : ranked) {
+      if (used >= slots) break;
+      if (legal_parent(g, j, i)) g.set_fanin(i, used++, j);
+    }
+    if (exact_count && used == slots) {
+      ++local.nodes_kept;
+      local.edges_from_gini += static_cast<std::size_t>(used);
+      continue;
+    }
+    local.edges_from_gini += static_cast<std::size_t>(used);
+
+    if (used < slots) {
+      // Fill remaining slots from the full probability ranking.
+      std::vector<std::pair<double, NodeId>> fallback;
+      fallback.reserve(n);
+      for (NodeId j = 0; j < n; ++j) {
+        if (j != i && !gini.at(j, i)) fallback.emplace_back(prob_of(j), j);
+      }
+      std::sort(fallback.begin(), fallback.end(), std::greater<>());
+      for (const auto& [p, j] : fallback) {
+        if (used >= slots) break;
+        if (legal_parent(g, j, i)) {
+          g.set_fanin(i, used++, j);
+          ++local.edges_from_probability;
+        }
+      }
+    }
+    if (used < slots) {
+      throw std::runtime_error(
+          "repair_to_valid: no legal parent for node " + std::to_string(i));
+    }
+    ++local.nodes_repaired;
+  }
+  if (stats) *stats = local;
+  return g;
+}
+
+}  // namespace syn::core

@@ -1,0 +1,35 @@
+// Phase 2 — probability-guided graph post-processing (paper §V).
+//
+// Turns the (usually constraint-violating) initial sample G_ini into a
+// valid circuit G_val: nodes are processed sequentially; a node whose
+// fan-in set in G_ini is already legal is kept untouched; otherwise its
+// parents are (re)assigned in descending edge-probability order, skipping
+// any candidate that is an output port, a duplicate parent, or would close
+// a combinational loop against the partially built graph.
+#pragma once
+
+#include "graph/adjacency.hpp"
+#include "graph/dcg.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace syn::core {
+
+struct RepairStats {
+  std::size_t nodes_kept = 0;      // fan-ins taken verbatim from G_ini
+  std::size_t nodes_repaired = 0;  // fan-ins reassigned via P_E
+  std::size_t edges_from_gini = 0;
+  std::size_t edges_from_probability = 0;
+};
+
+/// Repairs G_ini into a circuit satisfying constraints C. `edge_prob` is
+/// the model's P_E^(0) (N x N); `rng` breaks probability ties so repeated
+/// repairs of the same sample stay diverse. Throws std::runtime_error when
+/// no legal parent exists for some slot (cannot happen when the attribute
+/// set contains at least one input/const/register).
+graph::Graph repair_to_valid(const graph::NodeAttrs& attrs,
+                             const graph::AdjacencyMatrix& gini,
+                             const nn::Matrix& edge_prob, util::Rng& rng,
+                             RepairStats* stats = nullptr);
+
+}  // namespace syn::core

@@ -1,0 +1,128 @@
+#include "diffusion/denoiser.hpp"
+
+#include <cmath>
+
+namespace syn::diffusion {
+
+using graph::kNumNodeTypes;
+using nn::Matrix;
+using nn::Tensor;
+
+Denoiser::Denoiser(DenoiserConfig config, util::Rng& rng)
+    : config_(config),
+      init_({feature_dim() + 2, config.hidden, config.hidden}, rng),
+      time_init_({config.time_dim, config.hidden}, rng),
+      relation_({config.time_dim, config.hidden}, rng),
+      dtime_({config.time_dim, config.time_dim}, rng),
+      head_({config.hidden + config.time_dim + 1, config.hidden, 1}, rng) {
+  for (int l = 0; l < config.mpnn_layers; ++l) {
+    wh_.emplace_back(config.hidden, config.hidden, rng);
+    wm_.emplace_back(config.hidden, config.hidden, rng);
+  }
+}
+
+std::size_t Denoiser::feature_dim() {
+  return static_cast<std::size_t>(kNumNodeTypes) + 2;
+}
+
+Matrix Denoiser::node_features(const graph::NodeAttrs& attrs) {
+  Matrix f(attrs.size(), feature_dim());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    f.at(i, static_cast<std::size_t>(attrs.types[i])) = 1.0f;
+    f.at(i, kNumNodeTypes) =
+        static_cast<float>(std::log2(1.0 + attrs.widths[i]) / 6.0);
+    f.at(i, kNumNodeTypes + 1) = 1.0f;  // bias feature
+  }
+  return f;
+}
+
+std::vector<std::vector<std::size_t>> Denoiser::parent_lists(
+    const graph::AdjacencyMatrix& adj) {
+  const std::size_t n = adj.size();
+  std::vector<std::vector<std::size_t>> parents(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != j && adj.at(i, j)) parents[j].push_back(i);
+    }
+  }
+  return parents;
+}
+
+Tensor Denoiser::encode(
+    const Matrix& node_features,
+    const std::vector<std::vector<std::size_t>>& parents, int t) const {
+  const std::size_t n = node_features.rows();
+  // Augment the attribute features with the noisy graph's normalized in-
+  // and out-degree — cheap structural summaries of A_t.
+  std::vector<float> out_degree(n, 0.0f);
+  for (const auto& plist : parents) {
+    for (std::size_t p : plist) out_degree[p] += 1.0f;
+  }
+  Matrix augmented(n, node_features.cols() + 2);
+  const float norm = 1.0f / static_cast<float>(std::max<std::size_t>(n, 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < node_features.cols(); ++j) {
+      augmented.at(i, j) = node_features.at(i, j);
+    }
+    augmented.at(i, node_features.cols()) =
+        static_cast<float>(parents[i].size()) * norm * 8.0f;
+    augmented.at(i, node_features.cols() + 1) = out_degree[i] * norm * 8.0f;
+  }
+  const Tensor x(augmented);
+  const Tensor t_emb =
+      time_init_.forward(Tensor(nn::timestep_encoding(t, config_.time_dim)));
+  // Initial state: attribute embedding + broadcast time embedding.
+  Tensor h = nn::relu(nn::add(init_.forward(x), t_emb));
+  for (int l = 0; l < config_.mpnn_layers; ++l) {
+    const Tensor msg = nn::aggregate_rows(h, parents, n);
+    h = nn::relu(nn::add(wh_[static_cast<std::size_t>(l)].forward(h),
+                         wm_[static_cast<std::size_t>(l)].forward(msg)));
+  }
+  return h;
+}
+
+Tensor Denoiser::decode(const Tensor& h, const std::vector<Pair>& pairs,
+                        const std::vector<std::uint8_t>& current_state,
+                        int t) const {
+  std::vector<std::size_t> src, dst;
+  src.reserve(pairs.size());
+  dst.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    src.push_back(p.src);
+    dst.push_back(p.dst);
+  }
+  const Tensor hi = nn::gather_rows(h, std::move(src));
+  const Tensor hj = nn::gather_rows(h, std::move(dst));
+  const Tensor enc_t(nn::timestep_encoding(t, config_.time_dim));
+  Tensor translated = hi;
+  if (!config_.symmetric_decoder) {
+    // (H_i + r(t)): the translation that encodes edge direction.
+    const Tensor r = relation_.forward(enc_t);  // 1 x hidden, broadcasts
+    translated = nn::add(hi, r);
+  }
+  const Tensor prod = nn::mul(translated, hj);
+  // Broadcast d(t) to every pair row via a zero matrix.
+  const Tensor d = dtime_.forward(enc_t);  // 1 x time_dim
+  const Tensor d_rows =
+      nn::add(Tensor(Matrix(pairs.size(), config_.time_dim)), d);
+  // Current noisy bit A_t(i, j): the denoiser predicts the clean bit
+  // conditioned on the corrupted one.
+  Matrix state(pairs.size(), 1);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    state.at(k, 0) = current_state[k] ? 1.0f : 0.0f;
+  }
+  return head_.forward(
+      nn::concat_cols(nn::concat_cols(prod, d_rows), Tensor(state)));
+}
+
+void Denoiser::collect_parameters(std::vector<nn::Tensor>& out) const {
+  init_.collect_parameters(out);
+  time_init_.collect_parameters(out);
+  for (const auto& l : wh_) l.collect_parameters(out);
+  for (const auto& l : wm_) l.collect_parameters(out);
+  relation_.collect_parameters(out);
+  dtime_.collect_parameters(out);
+  head_.collect_parameters(out);
+}
+
+}  // namespace syn::diffusion

@@ -1,0 +1,67 @@
+// Diffusion generative model P(G | V, X) — paper §III/§IV.
+//
+// Wraps the schedule + denoiser into the two entry points the pipeline
+// needs: train() on a corpus of real circuit graphs and sample() to draw
+// a new adjacency matrix conditioned on user-specified node attributes,
+// returning both G_ini and the edge-probability matrix P_E^(0) that
+// Phase 2 consumes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "diffusion/denoiser.hpp"
+#include "diffusion/schedule.hpp"
+#include "graph/dcg.hpp"
+
+namespace syn::diffusion {
+
+struct DiffusionConfig {
+  int steps = 9;  // T, as in the paper
+  DenoiserConfig denoiser;
+  int epochs = 20;
+  double lr = 2e-3;
+  double clip_norm = 5.0;
+  /// Negative pairs sampled per positive pair during training (the
+  /// re-weighted objective stays unbiased).
+  std::size_t negatives_per_positive = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Result of one reverse-diffusion run: the sampled initial graph
+/// adjacency (G_ini) and the model's final edge-probability matrix
+/// (P_E at t=0), which guides Phase 2 repair.
+struct DiffusionSample {
+  graph::AdjacencyMatrix adjacency;
+  nn::Matrix edge_prob;  // N x N, edge_prob(i,j) = P(edge i -> j)
+};
+
+class DiffusionModel {
+ public:
+  explicit DiffusionModel(DiffusionConfig config);
+
+  struct TrainStats {
+    std::vector<double> epoch_loss;  // mean BCE per epoch
+    double noise_marginal = 0.0;     // estimated stationary edge density
+  };
+
+  /// Trains the denoiser on real circuit graphs (x0-parameterized
+  /// objective: predict clean edges from corrupted adjacency).
+  TrainStats train(const std::vector<graph::Graph>& corpus);
+
+  /// Reverse diffusion conditioned on the node attributes.
+  [[nodiscard]] DiffusionSample sample(const graph::NodeAttrs& attrs,
+                                       util::Rng& rng) const;
+
+  [[nodiscard]] const Schedule& schedule() const { return *schedule_; }
+  [[nodiscard]] const DiffusionConfig& config() const { return config_; }
+  [[nodiscard]] bool trained() const { return schedule_ != nullptr; }
+
+ private:
+  DiffusionConfig config_;
+  util::Rng rng_;
+  Denoiser denoiser_;
+  std::unique_ptr<Schedule> schedule_;  // built at train() (needs density)
+};
+
+}  // namespace syn::diffusion

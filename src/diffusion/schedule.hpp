@@ -1,0 +1,53 @@
+// Discrete (2-state) edge diffusion schedule — paper §IV-A/B.
+//
+// Forward process: each adjacency bit follows a 2-state Markov chain with
+// marginal-preserving transition matrices
+//     Q_t = alpha_t * I + (1 - alpha_t) * 1 m^T,
+// where m = (1 - p_noise, p_noise) is the stationary edge marginal
+// (estimated from the training corpus edge density). alpha-bar follows the
+// cosine schedule of Nichol & Dhariwal. The posterior used in reverse
+// sampling is the standard D3PM x0-parameterized posterior specialized to
+// two states, exposed here in closed form.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace syn::diffusion {
+
+class Schedule {
+ public:
+  /// steps = T (paper uses 9); noise_marginal = stationary edge
+  /// probability p_noise.
+  Schedule(int steps, double noise_marginal);
+
+  [[nodiscard]] int steps() const { return steps_; }
+  [[nodiscard]] double noise_marginal() const { return m1_; }
+
+  /// alpha_t (per-step keep probability), t in [1, T].
+  [[nodiscard]] double alpha(int t) const { return alpha_[static_cast<std::size_t>(t)]; }
+  /// alpha-bar_t (cumulative), t in [0, T]; alpha_bar(0) = 1.
+  [[nodiscard]] double alpha_bar(int t) const {
+    return alpha_bar_[static_cast<std::size_t>(t)];
+  }
+
+  /// q(A_t = 1 | A_0 = a0): forward corruption marginal.
+  [[nodiscard]] double q_t_given_0(int t, bool a0) const;
+
+  /// p(A_{t-1} = 1 | A_t = at, p(A_0=1) = p0_hat): the x0-parameterized
+  /// reverse posterior, marginalized over the predicted clean bit.
+  [[nodiscard]] double posterior(int t, bool at, double p0_hat) const;
+
+ private:
+  /// q(A_t = at | A_{t-1} = s) single-step transition probability.
+  [[nodiscard]] double q_step(int t, bool s, bool at) const;
+  /// q-bar_{t}(x0 -> s): t-step transition from x0 to s.
+  [[nodiscard]] double q_bar(int t, bool x0, bool s) const;
+
+  int steps_;
+  double m1_;  // stationary P(edge)
+  std::vector<double> alpha_;      // index 1..T
+  std::vector<double> alpha_bar_;  // index 0..T
+};
+
+}  // namespace syn::diffusion

@@ -1,0 +1,47 @@
+#include "graph/adjacency.hpp"
+
+namespace syn::graph {
+
+AdjacencyMatrix to_adjacency(const Graph& g) {
+  AdjacencyMatrix adj(g.num_nodes());
+  for (NodeId j = 0; j < g.num_nodes(); ++j) {
+    for (NodeId p : g.fanins(j)) {
+      if (p != kNoNode) adj.set(p, j, true);
+    }
+  }
+  return adj;
+}
+
+NodeAttrs attrs_of(const Graph& g) {
+  NodeAttrs attrs;
+  attrs.types.reserve(g.num_nodes());
+  attrs.widths.reserve(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    attrs.types.push_back(g.type(i));
+    attrs.widths.push_back(static_cast<std::uint16_t>(g.width(i)));
+  }
+  return attrs;
+}
+
+Graph skeleton_from_attrs(const NodeAttrs& attrs, std::string name) {
+  Graph g(std::move(name));
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    g.add_node(attrs.types[i], attrs.widths[i]);
+  }
+  return g;
+}
+
+Graph graph_from_adjacency(const NodeAttrs& attrs, const AdjacencyMatrix& adj,
+                           std::string name) {
+  Graph g = skeleton_from_attrs(attrs, std::move(name));
+  for (NodeId j = 0; j < g.num_nodes(); ++j) {
+    const int slots = arity(g.type(j));
+    int used = 0;
+    for (NodeId i = 0; i < g.num_nodes() && used < slots; ++i) {
+      if (adj.at(i, j)) g.set_fanin(j, used++, i);
+    }
+  }
+  return g;
+}
+
+}  // namespace syn::graph

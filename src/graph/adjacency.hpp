@@ -1,0 +1,69 @@
+// Dense adjacency-matrix view of a DCG.
+//
+// The diffusion model (paper §IV) operates on the adjacency matrix A where
+// A(i, j) = 1 iff a directed edge i -> j exists. Slot information is
+// deliberately dropped: the generative task is edge-set generation, and
+// Phase 2 reassigns slots when repairing fan-ins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dcg.hpp"
+
+namespace syn::graph {
+
+/// Row-major N x N binary adjacency matrix. A(i, j) = at(i * n + j).
+class AdjacencyMatrix {
+ public:
+  explicit AdjacencyMatrix(std::size_t n) : n_(n), bits_(n * n, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool at(std::size_t i, std::size_t j) const {
+    return bits_[i * n_ + j] != 0;
+  }
+  void set(std::size_t i, std::size_t j, bool value) {
+    bits_[i * n_ + j] = value ? 1 : 0;
+  }
+  [[nodiscard]] std::size_t num_edges() const {
+    std::size_t e = 0;
+    for (auto b : bits_) e += b;
+    return e;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& raw() const { return bits_; }
+  std::vector<std::uint8_t>& raw() { return bits_; }
+
+  bool operator==(const AdjacencyMatrix&) const = default;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Adjacency of an existing graph (multi-edges collapse to one bit).
+AdjacencyMatrix to_adjacency(const Graph& g);
+
+/// Node attribute vector X = (type, width) per node, detached from edges;
+/// used to condition generation (paper: "produce edges E conditioned on
+/// the specified node number V and attributes X").
+struct NodeAttrs {
+  std::vector<NodeType> types;
+  std::vector<std::uint16_t> widths;
+  [[nodiscard]] std::size_t size() const { return types.size(); }
+};
+
+NodeAttrs attrs_of(const Graph& g);
+
+/// Builds a graph skeleton with the given attributes and *no* edges
+/// connected; fan-in slots are filled later from an adjacency matrix or by
+/// Phase 2 repair.
+Graph skeleton_from_attrs(const NodeAttrs& attrs, std::string name);
+
+/// Fills fan-in slots of a skeleton from an adjacency matrix: for each node
+/// j, parents {i : A(i,j)=1} are assigned to slots in ascending id order.
+/// Surplus parents beyond arity are dropped; missing slots stay kNoNode.
+/// The result usually violates C — that is exactly Phase 2's input.
+Graph graph_from_adjacency(const NodeAttrs& attrs, const AdjacencyMatrix& adj,
+                           std::string name);
+
+}  // namespace syn::graph

@@ -1,0 +1,112 @@
+#include "graph/dcg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syn::graph {
+
+NodeId Graph::add_node(NodeType type, int width, std::uint32_t param) {
+  if (width < 1 || width > 0xffff) {
+    throw std::invalid_argument("node width out of range");
+  }
+  Node n;
+  n.type = type;
+  n.width = is_single_bit_result(type) ? 1 : static_cast<std::uint16_t>(width);
+  // Constants are canonicalized to their width so that graph equality and
+  // the Verilog round-trip agree on the stored value.
+  if (type == NodeType::kConst && n.width < 32) {
+    param &= (1U << n.width) - 1U;
+  }
+  n.param = param;
+  n.fanins.assign(static_cast<std::size_t>(arity(type)), kNoNode);
+  nodes_.push_back(std::move(n));
+  fanouts_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Graph::set_fanin(NodeId child, int slot, NodeId parent) {
+  auto& slots = nodes_[child].fanins;
+  auto& cur = slots[static_cast<std::size_t>(slot)];
+  if (cur == parent) return;
+  if (cur != kNoNode) clear_fanin(child, slot);
+  if (parent >= nodes_.size()) throw std::out_of_range("bad parent id");
+  cur = parent;
+  fanouts_[parent].push_back(child);
+  ++num_edges_;
+}
+
+void Graph::clear_fanin(NodeId child, int slot) {
+  auto& cur = nodes_[child].fanins[static_cast<std::size_t>(slot)];
+  if (cur == kNoNode) return;
+  auto& outs = fanouts_[cur];
+  const auto it = std::find(outs.begin(), outs.end(), child);
+  if (it != outs.end()) outs.erase(it);
+  cur = kNoNode;
+  --num_edges_;
+}
+
+bool Graph::fanins_complete(NodeId id) const {
+  const auto& slots = nodes_[id].fanins;
+  return std::none_of(slots.begin(), slots.end(),
+                      [](NodeId p) { return p == kNoNode; });
+}
+
+bool Graph::all_fanins_complete() const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!fanins_complete(i)) return false;
+  }
+  return true;
+}
+
+bool Graph::has_edge(NodeId from, NodeId to) const {
+  const auto& slots = nodes_[to].fanins;
+  return std::find(slots.begin(), slots.end(), from) != slots.end();
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  result.reserve(num_edges_);
+  for (NodeId j = 0; j < nodes_.size(); ++j) {
+    for (NodeId p : nodes_[j].fanins) {
+      if (p != kNoNode) result.emplace_back(p, j);
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> Graph::type_histogram() const {
+  std::vector<std::size_t> hist(kNumNodeTypes, 0);
+  for (const auto& n : nodes_) ++hist[static_cast<std::size_t>(n.type)];
+  return hist;
+}
+
+std::vector<NodeId> Graph::nodes_of_type(NodeType t) const {
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == t) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::size_t Graph::register_bits() const {
+  std::size_t bits = 0;
+  for (const auto& n : nodes_) {
+    if (is_sequential(n.type)) bits += n.width;
+  }
+  return bits;
+}
+
+bool Graph::operator==(const Graph& other) const {
+  if (nodes_.size() != other.nodes_.size()) return false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& a = nodes_[i];
+    const Node& b = other.nodes_[i];
+    if (a.type != b.type || a.width != b.width || a.param != b.param ||
+        a.fanins != b.fanins) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace syn::graph

@@ -1,0 +1,16 @@
+#include "graph/node_type.hpp"
+
+namespace syn::graph {
+
+bool parse_type_name(std::string_view name, NodeType& out) {
+  for (int i = 0; i < kNumNodeTypes; ++i) {
+    const auto t = static_cast<NodeType>(i);
+    if (type_name(t) == name) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace syn::graph

@@ -1,0 +1,94 @@
+// Node vocabulary of the circuit DCG (paper §II).
+//
+// The paper's constraint C1 states that the node type uniquely determines
+// the number of parent (fan-in) nodes; `arity()` is that function. Types
+// cover the five categories named in the paper: IO ports, arithmetic /
+// logic operators, registers, bit selection and concatenation, plus
+// constants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace syn::graph {
+
+enum class NodeType : std::uint8_t {
+  kInput = 0,   // primary input port (no fan-in)
+  kOutput,      // primary output port (1 fan-in, no fan-out)
+  kConst,       // literal (no fan-in); param = value
+  kReg,         // D flip-flop, breaks combinational cycles (1 fan-in)
+  kNot,         // bitwise not (1)
+  kAnd,         // bitwise and (2)
+  kOr,          // bitwise or (2)
+  kXor,         // bitwise xor (2)
+  kAdd,         // addition (2)
+  kSub,         // subtraction (2)
+  kMul,         // multiplication, truncated to width (2)
+  kEq,          // equality, 1-bit result (2)
+  kLt,          // unsigned less-than, 1-bit result (2)
+  kMux,         // 2:1 mux: fanin0 = select, fanin1 = then, fanin2 = else (3)
+  kBitSelect,   // bit slice [param + width - 1 : param] of fanin0 (1)
+  kConcat,      // {fanin0, fanin1} (2)
+};
+
+inline constexpr int kNumNodeTypes = 16;
+
+/// Number of parent nodes this type requires (paper constraint C1).
+constexpr int arity(NodeType t) {
+  switch (t) {
+    case NodeType::kInput:
+    case NodeType::kConst:
+      return 0;
+    case NodeType::kOutput:
+    case NodeType::kReg:
+    case NodeType::kNot:
+    case NodeType::kBitSelect:
+      return 1;
+    case NodeType::kAnd:
+    case NodeType::kOr:
+    case NodeType::kXor:
+    case NodeType::kAdd:
+    case NodeType::kSub:
+    case NodeType::kMul:
+    case NodeType::kEq:
+    case NodeType::kLt:
+    case NodeType::kConcat:
+      return 2;
+    case NodeType::kMux:
+      return 3;
+  }
+  return 0;
+}
+
+inline constexpr int kMaxArity = 3;
+
+/// Registers are the only sequential elements; a cycle is legal iff it
+/// passes through at least one of them (paper constraint C2).
+constexpr bool is_sequential(NodeType t) { return t == NodeType::kReg; }
+
+/// Sources have no fan-in and terminate driving-cone traversals.
+constexpr bool is_source(NodeType t) {
+  return t == NodeType::kInput || t == NodeType::kConst;
+}
+
+/// Sinks must have no fan-out.
+constexpr bool is_sink(NodeType t) { return t == NodeType::kOutput; }
+
+/// Types whose output is always a single bit regardless of the width
+/// attribute (comparisons).
+constexpr bool is_single_bit_result(NodeType t) {
+  return t == NodeType::kEq || t == NodeType::kLt;
+}
+
+constexpr std::string_view type_name(NodeType t) {
+  constexpr std::array<std::string_view, kNumNodeTypes> names = {
+      "in",  "out", "const", "reg", "not",    "and",  "or",  "xor",
+      "add", "sub", "mul",   "eq",  "lt",     "mux",  "sel", "cat"};
+  return names[static_cast<std::size_t>(t)];
+}
+
+/// Parses the short name produced by type_name(); returns false on unknown.
+bool parse_type_name(std::string_view name, NodeType& out);
+
+}  // namespace syn::graph

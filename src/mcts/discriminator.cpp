@@ -1,0 +1,173 @@
+#include "mcts/discriminator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/node_type.hpp"
+#include "nn/optim.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace syn::mcts {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::NodeType;
+
+std::vector<double> pcs_features(const Graph& g) {
+  std::vector<double> f;
+  f.reserve(kPcsFeatureDim);
+  const double n = std::max<std::size_t>(g.num_nodes(), 1);
+  const auto mask = graph::observable_mask(g);
+
+  std::size_t observable = 0;
+  std::size_t observable_regs = 0, regs = 0;
+  std::size_t observable_width = 0, total_width = 0;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    observable += mask[i];
+    total_width += static_cast<std::size_t>(g.width(i));
+    if (mask[i]) observable_width += static_cast<std::size_t>(g.width(i));
+    if (graph::is_sequential(g.type(i))) {
+      ++regs;
+      observable_regs += mask[i];
+    }
+  }
+  f.push_back(static_cast<double>(observable) / n);
+  f.push_back(regs ? static_cast<double>(observable_regs) / regs : 0.0);
+  f.push_back(total_width
+                  ? static_cast<double>(observable_width) / total_width
+                  : 0.0);
+
+  const auto deg = graph::out_degrees(g);
+  double mean_deg = 0.0, max_deg = 0.0, zero_fanout = 0.0;
+  for (auto d : deg) {
+    mean_deg += static_cast<double>(d);
+    max_deg = std::max(max_deg, static_cast<double>(d));
+    zero_fanout += d == 0;
+  }
+  f.push_back(mean_deg / n);
+  f.push_back(max_deg / n);
+  f.push_back(zero_fanout / n);
+  f.push_back(static_cast<double>(g.num_edges()) / n);
+
+  // Observable arithmetic mass drives area: multiplier bits squared etc.
+  double mul_mass = 0.0, add_mass = 0.0, mux_mass = 0.0;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (!mask[i]) continue;
+    const double w = g.width(i);
+    if (g.type(i) == NodeType::kMul) mul_mass += w * w;
+    if (g.type(i) == NodeType::kAdd || g.type(i) == NodeType::kSub) {
+      add_mass += w;
+    }
+    if (g.type(i) == NodeType::kMux) mux_mass += w;
+  }
+  f.push_back(mul_mass / n);
+  f.push_back(add_mass / n);
+  f.push_back(mux_mass / n);
+
+  const auto hist = g.type_histogram();
+  for (std::size_t t = 0; t < hist.size(); ++t) {  // 16 entries
+    f.push_back(static_cast<double>(hist[t]) / n);
+  }
+  // Pad defensively if the node-type vocabulary ever shrinks.
+  while (f.size() < kPcsFeatureDim) f.push_back(0.0);
+  f.resize(kPcsFeatureDim);
+  return f;
+}
+
+PcsDiscriminator::PcsDiscriminator(std::uint64_t seed)
+    : rng_(seed),
+      net_({kPcsFeatureDim, 32, 16, 1}, rng_),
+      mean_(kPcsFeatureDim, 0.0),
+      stddev_(kPcsFeatureDim, 1.0) {}
+
+void PcsDiscriminator::fit(const std::vector<Graph>& samples, int epochs) {
+  if (samples.empty()) {
+    throw std::invalid_argument("PcsDiscriminator: no training samples");
+  }
+  const std::size_t n = samples.size();
+  std::vector<std::vector<double>> feats(n);
+  std::vector<double> labels(n);
+  double max_label = 1e-9;
+  for (std::size_t i = 0; i < n; ++i) {
+    feats[i] = pcs_features(samples[i]);
+    labels[i] = synth::synthesize_stats(samples[i]).pcs();
+    max_label = std::max(max_label, labels[i]);
+  }
+  label_scale_ = max_label;
+
+  for (std::size_t j = 0; j < kPcsFeatureDim; ++j) {
+    double m = 0.0;
+    for (const auto& f : feats) m += f[j];
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (const auto& f : feats) var += (f[j] - m) * (f[j] - m);
+    mean_[j] = m;
+    stddev_[j] = std::sqrt(var / static_cast<double>(n)) + 1e-6;
+  }
+
+  nn::Matrix x(n, kPcsFeatureDim);
+  nn::Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < kPcsFeatureDim; ++j) {
+      x.at(i, j) = static_cast<float>((feats[i][j] - mean_[j]) / stddev_[j]);
+    }
+    y.at(i, 0) = static_cast<float>(labels[i] / label_scale_);
+  }
+  nn::Adam opt(net_.parameters(), {.lr = 5e-3, .clip_norm = 5.0});
+  const nn::Tensor xt(x);
+  for (int e = 0; e < epochs; ++e) {
+    opt.zero_grad();
+    nn::Tensor loss = nn::mse(net_.forward(xt), y);
+    loss.backward();
+    opt.step();
+  }
+  fitted_ = true;
+}
+
+double PcsDiscriminator::predict(const Graph& g) const {
+  if (!fitted_) throw std::logic_error("PcsDiscriminator::predict before fit");
+  const auto f = pcs_features(g);
+  nn::Matrix x(1, kPcsFeatureDim);
+  for (std::size_t j = 0; j < kPcsFeatureDim; ++j) {
+    x.at(0, j) = static_cast<float>((f[j] - mean_[j]) / stddev_[j]);
+  }
+  return static_cast<double>(net_.forward(nn::Tensor(x)).value()[0]) *
+         label_scale_;
+}
+
+RewardFn PcsDiscriminator::as_reward() const {
+  if (!fitted_) throw std::logic_error("PcsDiscriminator::as_reward before fit");
+  return [this](const Graph& g) { return predict(g); };
+}
+
+RewardFn exact_pcs_reward() {
+  return [](const Graph& g) { return synth::synthesize_stats(g).pcs(); };
+}
+
+double observable_register_fraction(const Graph& g) {
+  const auto mask = graph::observable_mask(g);
+  double seen = 0.0, total = 0.0;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (!graph::is_sequential(g.type(i))) continue;
+    const double w = g.width(i);
+    total += w;
+    if (mask[i]) seen += w;
+  }
+  return total > 0.0 ? seen / total : 0.0;
+}
+
+RewardFn hybrid_reward(const PcsDiscriminator& discriminator, double bonus) {
+  if (!discriminator.fitted()) {
+    throw std::logic_error("hybrid_reward: discriminator not fitted");
+  }
+  const double scale = std::max(discriminator.label_scale(), 1e-9);
+  return [&discriminator, bonus, scale](const Graph& g) {
+    const double learned =
+        std::clamp(discriminator.predict(g) / scale, 0.0, 1.0);
+    return bonus * observable_register_fraction(g) + learned;
+  };
+}
+
+}  // namespace syn::mcts

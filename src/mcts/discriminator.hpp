@@ -1,0 +1,63 @@
+// Learned PCS discriminator (paper §VII-A: "we replaced the slow synthesis
+// tool with a trained discriminator to approximate the PCS").
+//
+// A small MLP regresses PCS from cheap O(N + E) structural features
+// (observability fractions, degree statistics, type mix). During MCTS it
+// replaces the synthesis oracle, cutting the per-state cost from a full
+// bit-blast + optimize to a graph sweep.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/dcg.hpp"
+#include "mcts/mcts.hpp"
+#include "nn/layers.hpp"
+
+namespace syn::mcts {
+
+/// Feature vector for a circuit graph (see discriminator.cpp for the
+/// exact definition; dimension = kPcsFeatureDim).
+inline constexpr std::size_t kPcsFeatureDim = 24;
+std::vector<double> pcs_features(const graph::Graph& g);
+
+class PcsDiscriminator {
+ public:
+  explicit PcsDiscriminator(std::uint64_t seed = 17);
+
+  /// Fits on training graphs; PCS labels are produced internally by the
+  /// exact synthesis oracle.
+  void fit(const std::vector<graph::Graph>& samples, int epochs = 300);
+
+  [[nodiscard]] double predict(const graph::Graph& g) const;
+  [[nodiscard]] bool fitted() const { return fitted_; }
+  /// Largest PCS label seen in training; used to normalize predictions.
+  [[nodiscard]] double label_scale() const { return label_scale_; }
+
+  /// Adapts the discriminator to the MCTS reward interface.
+  [[nodiscard]] RewardFn as_reward() const;
+
+ private:
+  util::Rng rng_;
+  nn::Mlp net_;
+  std::vector<double> mean_, stddev_;  // feature normalization
+  double label_scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// Exact synthesis-based PCS reward (the oracle the discriminator mimics).
+RewardFn exact_pcs_reward();
+
+/// Fraction of register bits that reach a primary output — an exact O(E)
+/// proxy for the register-sweep component of SCPR/PCS.
+double observable_register_fraction(const graph::Graph& g);
+
+/// Default Phase 3 reward: `bonus` times the exact observability fraction
+/// plus the *normalized* learned PCS estimate. The observability term
+/// dominates (it is exact and monotone with the register sweep); the
+/// learned term carries the area signal the paper's discriminator
+/// provides and breaks ties between equally-observable states.
+RewardFn hybrid_reward(const PcsDiscriminator& discriminator,
+                       double bonus = 10.0);
+
+}  // namespace syn::mcts

@@ -1,0 +1,240 @@
+#include "mcts/mcts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/node_type.hpp"
+
+namespace syn::mcts {
+
+using graph::Graph;
+using graph::kNoNode;
+using graph::NodeId;
+
+bool apply_swap(Graph& g, const SwapAction& a) {
+  if (a.child_a == a.child_b && a.slot_a == a.slot_b) return false;
+  const NodeId pa = g.fanin(a.child_a, a.slot_a);
+  const NodeId pb = g.fanin(a.child_b, a.slot_b);
+  if (pa == kNoNode || pb == kNoNode || pa == pb) return false;
+  // Reject duplicate parents after the swap (a parent may feed a child in
+  // only one slot, mirroring how Phase 2 assigns fan-ins).
+  if (g.has_edge(pb, a.child_a) || g.has_edge(pa, a.child_b)) return false;
+  g.clear_fanin(a.child_a, a.slot_a);
+  g.clear_fanin(a.child_b, a.slot_b);
+  const bool ok = !graph::edge_creates_comb_loop(g, pb, a.child_a) &&
+                  [&] {
+                    g.set_fanin(a.child_a, a.slot_a, pb);
+                    return !graph::edge_creates_comb_loop(g, pa, a.child_b);
+                  }();
+  if (ok) {
+    g.set_fanin(a.child_b, a.slot_b, pa);
+    return true;
+  }
+  // Revert.
+  if (g.fanin(a.child_a, a.slot_a) != kNoNode) g.clear_fanin(a.child_a, a.slot_a);
+  g.set_fanin(a.child_a, a.slot_a, pa);
+  g.set_fanin(a.child_b, a.slot_b, pb);
+  return false;
+}
+
+namespace {
+
+/// Cone nodes with at least one fan-in slot — the legal swap endpoints.
+std::vector<NodeId> swap_candidates(const Graph& g,
+                                    const std::vector<NodeId>& cone) {
+  std::vector<NodeId> out;
+  for (NodeId n : cone) {
+    if (!g.fanins(n).empty()) out.push_back(n);
+  }
+  return out;
+}
+
+/// One endpoint targets the cone under optimization; the counterparty may
+/// be any fan-in in the circuit — a swap against an edge outside the cone
+/// is exactly what reconnects a dead cone into observable logic. When a
+/// non-empty `observable_pool` is supplied, half the proposals draw the
+/// counterparty from observable logic, which is the move that pulls dead
+/// cones into the output fan-in.
+SwapAction random_action(const Graph& g, const std::vector<NodeId>& cone_pool,
+                         const std::vector<NodeId>& global_pool,
+                         const std::vector<NodeId>& observable_pool,
+                         util::Rng& rng) {
+  SwapAction a;
+  a.child_a = cone_pool[rng.uniform_int(cone_pool.size())];
+  const bool biased = !observable_pool.empty() && rng.bernoulli(0.5);
+  const auto& pool_b = biased ? observable_pool : global_pool;
+  a.child_b = pool_b[rng.uniform_int(pool_b.size())];
+  a.slot_a = static_cast<int>(rng.uniform_int(g.fanins(a.child_a).size()));
+  a.slot_b = static_cast<int>(rng.uniform_int(g.fanins(a.child_b).size()));
+  return a;
+}
+
+struct TreeNode {
+  Graph state;
+  double reward = 0.0;
+  int visits = 0;
+  double q_sum = 0.0;
+  std::vector<SwapAction> untried;
+  std::vector<std::unique_ptr<TreeNode>> children;
+};
+
+void seed_actions(TreeNode& node, const std::vector<NodeId>& cone_pool,
+                  const std::vector<NodeId>& global_pool,
+                  const MctsConfig& config, util::Rng& rng) {
+  node.untried.clear();
+  if (cone_pool.empty() || global_pool.size() < 2) return;
+  // Observable swap counterparties of *this* state (recomputed per node:
+  // swaps change observability).
+  const auto mask = graph::observable_mask(node.state);
+  std::vector<NodeId> observable_pool;
+  for (NodeId n : global_pool) {
+    if (mask[n]) observable_pool.push_back(n);
+  }
+  for (int k = 0; k < config.actions_per_state; ++k) {
+    node.untried.push_back(random_action(node.state, cone_pool, global_pool,
+                                         observable_pool, rng));
+  }
+}
+
+}  // namespace
+
+std::pair<Graph, double> optimize_cone(const Graph& start, NodeId reg,
+                                       const MctsConfig& config,
+                                       const RewardFn& reward,
+                                       util::Rng& rng) {
+  const std::vector<NodeId> cone = graph::driving_cone(start, reg);
+  const std::vector<NodeId> cone_pool = swap_candidates(start, cone);
+  std::vector<NodeId> all_nodes(start.num_nodes());
+  for (NodeId i = 0; i < start.num_nodes(); ++i) all_nodes[i] = i;
+  const std::vector<NodeId> global_pool = swap_candidates(start, all_nodes);
+
+  TreeNode root;
+  root.state = start;
+  root.reward = reward(start);
+  seed_actions(root, cone_pool, global_pool, config, rng);
+
+  Graph best_state = start;
+  double best_reward = root.reward;
+  const auto consider = [&](const Graph& g, double r) {
+    if (r > best_reward) {
+      best_reward = r;
+      best_state = g;
+    }
+  };
+
+  for (int sim = 0; sim < config.simulations; ++sim) {
+    // --- selection ---
+    std::vector<TreeNode*> path{&root};
+    TreeNode* node = &root;
+    int depth = 0;
+    while (node->untried.empty() && !node->children.empty() &&
+           depth < config.max_depth) {
+      TreeNode* chosen = nullptr;
+      double best_ucb = -1e300;
+      for (const auto& child : node->children) {
+        const double mean =
+            child->visits > 0 ? child->q_sum / child->visits : 0.0;
+        const double explore =
+            config.exploration *
+            std::sqrt(std::log(static_cast<double>(node->visits) + 1.0) /
+                      (static_cast<double>(child->visits) + 1e-9));
+        const double ucb = mean + explore;
+        if (ucb > best_ucb) {
+          best_ucb = ucb;
+          chosen = child.get();
+        }
+      }
+      node = chosen;
+      path.push_back(node);
+      ++depth;
+    }
+    // --- expansion ---
+    if (depth < config.max_depth && !node->untried.empty()) {
+      const SwapAction action = node->untried.back();
+      node->untried.pop_back();
+      Graph next = node->state;
+      if (apply_swap(next, action)) {
+        auto child = std::make_unique<TreeNode>();
+        child->state = std::move(next);
+        child->reward = reward(child->state);
+        consider(child->state, child->reward);
+        seed_actions(*child, cone_pool, global_pool, config, rng);
+        node->children.push_back(std::move(child));
+        node = node->children.back().get();
+        path.push_back(node);
+        ++depth;
+      }
+    }
+    // --- simulation (random rollout), tracking the max reward ---
+    double reward_max = node->reward;
+    for (TreeNode* p : path) reward_max = std::max(reward_max, p->reward);
+    Graph rollout = node->state;
+    for (int d = depth;
+         d < config.max_depth && !cone_pool.empty() && global_pool.size() >= 2;
+         ++d) {
+      const SwapAction action =
+          random_action(rollout, cone_pool, global_pool, {}, rng);
+      if (!apply_swap(rollout, action)) continue;
+      const double r = reward(rollout);
+      consider(rollout, r);
+      reward_max = std::max(reward_max, r);
+    }
+    // --- backpropagation with Reward_max (paper §VI-B) ---
+    for (TreeNode* p : path) {
+      ++p->visits;
+      p->q_sum += reward_max;
+    }
+  }
+  return {std::move(best_state), best_reward};
+}
+
+Graph optimize_registers(const Graph& gval, const MctsConfig& config,
+                         const RewardFn& reward, util::Rng& rng) {
+  // Largest driving cones first: they dominate PCS/SCPR.
+  std::vector<std::pair<std::size_t, NodeId>> regs;
+  for (NodeId i = 0; i < gval.num_nodes(); ++i) {
+    if (graph::is_sequential(gval.type(i))) {
+      regs.emplace_back(graph::driving_cone(gval, i).size(), i);
+    }
+  }
+  std::sort(regs.begin(), regs.end(), std::greater<>());
+  if (config.max_registers >= 0 &&
+      regs.size() > static_cast<std::size_t>(config.max_registers)) {
+    regs.resize(static_cast<std::size_t>(config.max_registers));
+  }
+  Graph current = gval;
+  for (int pass = 0; pass < std::max(1, config.passes); ++pass) {
+    for (const auto& [cone_size, reg] : regs) {
+      auto [next, r] = optimize_cone(current, reg, config, reward, rng);
+      current = std::move(next);
+    }
+  }
+  return current;
+}
+
+Graph random_optimize(const Graph& gval, const MctsConfig& config,
+                      const RewardFn& reward, util::Rng& rng) {
+  // Same evaluation budget as the MCTS runs it competes with in Fig 4.
+  std::vector<NodeId> all_nodes;
+  for (NodeId i = 0; i < gval.num_nodes(); ++i) all_nodes.push_back(i);
+  const std::vector<NodeId> pool = swap_candidates(gval, all_nodes);
+  Graph current = gval;
+  Graph best = gval;
+  double best_reward = reward(gval);
+  if (pool.size() < 2) return best;
+  for (int sim = 0; sim < config.simulations; ++sim) {
+    const SwapAction action = random_action(current, pool, pool, {}, rng);
+    if (!apply_swap(current, action)) continue;
+    const double r = reward(current);
+    if (r > best_reward) {
+      best_reward = r;
+      best = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace syn::mcts

@@ -1,0 +1,82 @@
+// Standard layers built on the autograd tensor: Linear, MLP, GRU cell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace syn::nn {
+
+/// Anything holding trainable tensors.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// Appends all trainable parameters (used by optimizers).
+  virtual void collect_parameters(std::vector<Tensor>& out) const = 0;
+
+  [[nodiscard]] std::vector<Tensor> parameters() const {
+    std::vector<Tensor> out;
+    collect_parameters(out);
+    return out;
+  }
+  [[nodiscard]] std::size_t num_parameters() const {
+    std::size_t n = 0;
+    for (const auto& p : parameters()) n += p.value().size();
+    return n;
+  }
+};
+
+/// y = x W + b.
+class Linear : public Module {
+ public:
+  Linear() = default;
+  Linear(std::size_t in, std::size_t out, util::Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  void collect_parameters(std::vector<Tensor>& out) const override;
+
+ private:
+  Tensor weight_;  // in x out
+  Tensor bias_;    // 1 x out
+};
+
+enum class Activation { kRelu, kTanh, kSigmoid, kNone };
+
+/// Multilayer perceptron with a chosen hidden activation; output is linear.
+class Mlp : public Module {
+ public:
+  Mlp() = default;
+  Mlp(const std::vector<std::size_t>& dims, util::Rng& rng,
+      Activation hidden = Activation::kRelu);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  void collect_parameters(std::vector<Tensor>& out) const override;
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_ = Activation::kRelu;
+};
+
+/// Single GRU cell: h' = (1-z) ⊙ n + z ⊙ h (batch-first rows).
+class GruCell : public Module {
+ public:
+  GruCell() = default;
+  GruCell(std::size_t input, std::size_t hidden, util::Rng& rng);
+
+  /// x: B x input, h: B x hidden -> B x hidden.
+  [[nodiscard]] Tensor forward(const Tensor& x, const Tensor& h) const;
+  [[nodiscard]] std::size_t hidden_size() const { return hidden_size_; }
+  void collect_parameters(std::vector<Tensor>& out) const override;
+
+ private:
+  Linear xz_, hz_, xr_, hr_, xn_, hn_;
+  std::size_t hidden_size_ = 0;
+};
+
+/// Sinusoidal time-step embedding (1 x dim) as used to condition the
+/// denoiser on the diffusion step.
+Matrix timestep_encoding(int t, std::size_t dim);
+
+}  // namespace syn::nn

@@ -1,0 +1,62 @@
+// Dense row-major float matrix — the numeric workhorse of the nn layer.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace syn::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+
+  /// Kaiming-style scaled normal init.
+  static Matrix randn(std::size_t rows, std::size_t cols, util::Rng& rng,
+                      double stddev) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data_) v = static_cast<float>(rng.gaussian(0.0, stddev));
+    return m;
+  }
+
+  [[nodiscard]] bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// c = a * b (shapes must agree).
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// c = a^T * b.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// c = a * b^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+}  // namespace syn::nn

@@ -1,0 +1,51 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace syn::nn {
+
+Adam::Adam(std::vector<Tensor> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+void Adam::step() {
+  ++step_count_;
+  double scale = 1.0;
+  if (options_.clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const auto& p : params_) {
+      for (float g : p.grad().data()) norm_sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
+  }
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_count_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_count_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& value = params_[k].value();
+    const auto& grad = params_[k].grad();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      const double g = grad[i] * scale;
+      m_[k][i] = static_cast<float>(options_.beta1 * m_[k][i] +
+                                    (1.0 - options_.beta1) * g);
+      v_[k][i] = static_cast<float>(options_.beta2 * v_[k][i] +
+                                    (1.0 - options_.beta2) * g * g);
+      const double mhat = m_[k][i] / bc1;
+      const double vhat = v_[k][i] / bc2;
+      value[i] -= static_cast<float>(options_.lr * mhat /
+                                     (std::sqrt(vhat) + options_.eps));
+    }
+  }
+}
+
+}  // namespace syn::nn

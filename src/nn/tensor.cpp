@@ -1,0 +1,340 @@
+#include "nn/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace syn::nn {
+
+using detail::TensorNode;
+
+Tensor::Tensor(Matrix value, bool requires_grad)
+    : node_(std::make_shared<TensorNode>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+namespace {
+
+/// True if gradients must flow through this node.
+bool tracked(const std::shared_ptr<TensorNode>& n) {
+  return n->requires_grad || n->backward != nullptr;
+}
+
+Tensor make_op(Matrix value, std::vector<Tensor> inputs,
+               std::function<void(TensorNode&)> backward) {
+  Tensor out(std::move(value));
+  bool needs = false;
+  for (const auto& t : inputs) needs = needs || tracked(t.node());
+  if (needs) {
+    auto n = out.node();
+    n->parents.reserve(inputs.size());
+    for (auto& t : inputs) n->parents.push_back(t.node());
+    n->backward = std::move(backward);
+  }
+  return out;
+}
+
+void topo(const std::shared_ptr<TensorNode>& n,
+          std::unordered_set<TensorNode*>& seen,
+          std::vector<TensorNode*>& order) {
+  // Iterative DFS; graphs can be deep (per-diffusion-step chains).
+  std::vector<std::pair<TensorNode*, std::size_t>> stack{{n.get(), 0}};
+  seen.insert(n.get());
+  while (!stack.empty()) {
+    auto& [cur, idx] = stack.back();
+    if (idx < cur->parents.size()) {
+      TensorNode* p = cur->parents[idx++].get();
+      if (p->backward && !seen.count(p)) {
+        seen.insert(p);
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(cur);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::backward() {
+  assert(rows() == 1 && cols() == 1 && "backward() needs a scalar loss");
+  std::unordered_set<TensorNode*> seen;
+  std::vector<TensorNode*> order;
+  topo(node_, seen, order);
+  // Zero intermediate grads, then seed.
+  for (TensorNode* n : order) {
+    n->ensure_grad();
+    n->grad.fill(0.0f);
+    for (auto& p : n->parents) p->ensure_grad();
+  }
+  node_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward) (*it)->backward(**it);
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Matrix c = matmul(a.value(), b.value());
+  return make_op(std::move(c), {a, b}, [](TensorNode& n) {
+    const Matrix& d = n.grad;
+    auto& pa = *n.parents[0];
+    auto& pb = *n.parents[1];
+    const Matrix da = matmul_nt(d, pb.value);
+    const Matrix db = matmul_tn(pa.value, d);
+    for (std::size_t i = 0; i < da.size(); ++i) pa.grad[i] += da[i];
+    for (std::size_t i = 0; i < db.size(); ++i) pb.grad[i] += db[i];
+  });
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  const bool broadcast = b.rows() == 1 && a.rows() > 1;
+  assert(broadcast ? a.cols() == b.cols() : a.value().same_shape(b.value()));
+  Matrix c = a.value();
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      c.at(r, j) += b.value().at(broadcast ? 0 : r, j);
+    }
+  }
+  return make_op(std::move(c), {a, b}, [broadcast](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    auto& pb = *n.parents[1];
+    for (std::size_t i = 0; i < n.grad.size(); ++i) pa.grad[i] += n.grad[i];
+    if (broadcast) {
+      for (std::size_t r = 0; r < n.grad.rows(); ++r) {
+        for (std::size_t j = 0; j < n.grad.cols(); ++j) {
+          pb.grad.at(0, j) += n.grad.at(r, j);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n.grad.size(); ++i) pb.grad[i] += n.grad[i];
+    }
+  });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  Matrix c = a.value();
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] -= b.value()[i];
+  return make_op(std::move(c), {a, b}, [](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    auto& pb = *n.parents[1];
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      pa.grad[i] += n.grad[i];
+      pb.grad[i] -= n.grad[i];
+    }
+  });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  Matrix c = a.value();
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] *= b.value()[i];
+  return make_op(std::move(c), {a, b}, [](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    auto& pb = *n.parents[1];
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      pa.grad[i] += n.grad[i] * pb.value[i];
+      pb.grad[i] += n.grad[i] * pa.value[i];
+    }
+  });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Matrix c = a.value();
+  for (auto& v : c.data()) v *= s;
+  return make_op(std::move(c), {a}, [s](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    for (std::size_t i = 0; i < n.grad.size(); ++i) pa.grad[i] += s * n.grad[i];
+  });
+}
+
+Tensor relu(const Tensor& a) {
+  Matrix c = a.value();
+  for (auto& v : c.data()) v = v > 0.0f ? v : 0.0f;
+  return make_op(std::move(c), {a}, [](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      if (pa.value[i] > 0.0f) pa.grad[i] += n.grad[i];
+    }
+  });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  Matrix c = a.value();
+  for (auto& v : c.data()) v = 1.0f / (1.0f + std::exp(-v));
+  Tensor out = make_op(std::move(c), {a}, [](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      const float y = n.value[i];
+      pa.grad[i] += n.grad[i] * y * (1.0f - y);
+    }
+  });
+  return out;
+}
+
+Tensor tanh_t(const Tensor& a) {
+  Matrix c = a.value();
+  for (auto& v : c.data()) v = std::tanh(v);
+  return make_op(std::move(c), {a}, [](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      const float y = n.value[i];
+      pa.grad[i] += n.grad[i] * (1.0f - y * y);
+    }
+  });
+}
+
+Tensor exp_t(const Tensor& a) {
+  Matrix c = a.value();
+  for (auto& v : c.data()) v = std::exp(v);
+  return make_op(std::move(c), {a}, [](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      pa.grad[i] += n.grad[i] * n.value[i];
+    }
+  });
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c.at(r, j) = a.value().at(r, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      c.at(r, a.cols() + j) = b.value().at(r, j);
+    }
+  }
+  const std::size_t ac = a.cols();
+  return make_op(std::move(c), {a, b}, [ac](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    auto& pb = *n.parents[1];
+    for (std::size_t r = 0; r < n.grad.rows(); ++r) {
+      for (std::size_t j = 0; j < ac; ++j) {
+        pa.grad.at(r, j) += n.grad.at(r, j);
+      }
+      for (std::size_t j = 0; j < pb.value.cols(); ++j) {
+        pb.grad.at(r, j) += n.grad.at(r, ac + j);
+      }
+    }
+  });
+}
+
+Tensor gather_rows(const Tensor& a, std::vector<std::size_t> indices) {
+  Matrix c(indices.size(), a.cols());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      c.at(k, j) = a.value().at(indices[k], j);
+    }
+  }
+  return make_op(std::move(c), {a},
+                 [idx = std::move(indices)](TensorNode& n) {
+                   auto& pa = *n.parents[0];
+                   for (std::size_t k = 0; k < idx.size(); ++k) {
+                     for (std::size_t j = 0; j < n.grad.cols(); ++j) {
+                       pa.grad.at(idx[k], j) += n.grad.at(k, j);
+                     }
+                   }
+                 });
+}
+
+Tensor aggregate_rows(const Tensor& a,
+                      std::vector<std::vector<std::size_t>> groups,
+                      std::size_t out_rows) {
+  assert(groups.size() == out_rows);
+  Matrix c(out_rows, a.cols());
+  for (std::size_t g = 0; g < out_rows; ++g) {
+    if (groups[g].empty()) continue;
+    const float inv = 1.0f / static_cast<float>(groups[g].size());
+    for (std::size_t src : groups[g]) {
+      for (std::size_t j = 0; j < a.cols(); ++j) {
+        c.at(g, j) += a.value().at(src, j) * inv;
+      }
+    }
+  }
+  return make_op(std::move(c), {a},
+                 [gs = std::move(groups)](TensorNode& n) {
+                   auto& pa = *n.parents[0];
+                   for (std::size_t g = 0; g < gs.size(); ++g) {
+                     if (gs[g].empty()) continue;
+                     const float inv = 1.0f / static_cast<float>(gs[g].size());
+                     for (std::size_t src : gs[g]) {
+                       for (std::size_t j = 0; j < n.grad.cols(); ++j) {
+                         pa.grad.at(src, j) += n.grad.at(g, j) * inv;
+                       }
+                     }
+                   }
+                 });
+}
+
+Tensor mean_all(const Tensor& a) {
+  Matrix c(1, 1);
+  for (float v : a.value().data()) c[0] += v;
+  const float inv = a.value().size() > 0
+                        ? 1.0f / static_cast<float>(a.value().size())
+                        : 0.0f;
+  c[0] *= inv;
+  return make_op(std::move(c), {a}, [inv](TensorNode& n) {
+    auto& pa = *n.parents[0];
+    for (std::size_t i = 0; i < pa.grad.size(); ++i) {
+      pa.grad[i] += n.grad[0] * inv;
+    }
+  });
+}
+
+Tensor bce_with_logits(const Tensor& logits, const Matrix& targets) {
+  Matrix ones(targets.rows(), targets.cols(), 1.0f);
+  return bce_with_logits(logits, targets, ones);
+}
+
+Tensor bce_with_logits(const Tensor& logits, const Matrix& targets,
+                       const Matrix& weights) {
+  assert(logits.value().same_shape(targets));
+  assert(logits.value().same_shape(weights));
+  Matrix c(1, 1);
+  double total = 0.0, weight_sum = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double z = logits.value()[i];
+    const double t = targets[i];
+    const double w = weights[i];
+    // max(z,0) - z*t + log(1 + exp(-|z|))  (numerically stable form)
+    total += w * (std::max(z, 0.0) - z * t + std::log1p(std::exp(-std::abs(z))));
+    weight_sum += w;
+  }
+  const float inv =
+      weight_sum > 0.0 ? static_cast<float>(1.0 / weight_sum) : 0.0f;
+  c[0] = static_cast<float>(total) * inv;
+  return make_op(std::move(c), {logits},
+                 [targets, weights, inv](TensorNode& n) {
+                   auto& pl = *n.parents[0];
+                   for (std::size_t i = 0; i < targets.size(); ++i) {
+                     const float s =
+                         1.0f / (1.0f + std::exp(-pl.value[i]));
+                     pl.grad[i] +=
+                         n.grad[0] * weights[i] * (s - targets[i]) * inv;
+                   }
+                 });
+}
+
+Tensor mse(const Tensor& pred, const Matrix& targets) {
+  assert(pred.value().same_shape(targets));
+  Matrix c(1, 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double diff = pred.value()[i] - targets[i];
+    total += diff * diff;
+  }
+  const float inv = targets.size() > 0
+                        ? 1.0f / static_cast<float>(targets.size())
+                        : 0.0f;
+  c[0] = static_cast<float>(total) * inv;
+  return make_op(std::move(c), {pred}, [targets, inv](TensorNode& n) {
+    auto& pp = *n.parents[0];
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      pp.grad[i] += n.grad[0] * 2.0f * (pp.value[i] - targets[i]) * inv;
+    }
+  });
+}
+
+}  // namespace syn::nn

@@ -1,0 +1,99 @@
+// Reverse-mode autograd over dense matrices.
+//
+// This is the training substrate standing in for PyTorch: a Tensor is a
+// shared handle to a value + gradient + backward closure. The op set is
+// exactly what the diffusion denoiser, the baselines and the PPA
+// discriminator need: affine layers, elementwise nonlinearities, row
+// gather/aggregate for message passing, concatenation, and the standard
+// losses.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace syn::nn {
+
+class Tensor;
+
+namespace detail {
+struct TensorNode {
+  Matrix value;
+  Matrix grad;  // same shape as value, lazily sized
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  std::function<void(TensorNode&)> backward;  // accumulates into parents
+  bool requires_grad = false;
+
+  void ensure_grad() {
+    if (!grad.same_shape(value)) grad = Matrix(value.rows(), value.cols());
+  }
+};
+}  // namespace detail
+
+/// Value-semantics handle to an autograd node.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Leaf from a value; requires_grad marks trainable parameters.
+  explicit Tensor(Matrix value, bool requires_grad = false);
+
+  [[nodiscard]] const Matrix& value() const { return node_->value; }
+  Matrix& value() { return node_->value; }
+  [[nodiscard]] const Matrix& grad() const { return node_->grad; }
+  [[nodiscard]] bool requires_grad() const { return node_->requires_grad; }
+  [[nodiscard]] std::size_t rows() const { return value().rows(); }
+  [[nodiscard]] std::size_t cols() const { return value().cols(); }
+  [[nodiscard]] bool defined() const { return node_ != nullptr; }
+
+  void zero_grad() {
+    node_->ensure_grad();
+    node_->grad.fill(0.0f);
+  }
+
+  /// Backpropagates from this (scalar 1x1) tensor through the graph.
+  void backward();
+
+  [[nodiscard]] std::shared_ptr<detail::TensorNode> node() const {
+    return node_;
+  }
+
+ private:
+  std::shared_ptr<detail::TensorNode> node_;
+};
+
+// --- operations --------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Elementwise sum; if b is 1 x C it broadcasts across rows of a.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product, same shapes.
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+Tensor relu(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor exp_t(const Tensor& a);
+/// Column-wise concatenation [a | b].
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+/// Selects rows of a by index (duplicates allowed); backward scatter-adds.
+Tensor gather_rows(const Tensor& a, std::vector<std::size_t> indices);
+/// Row j of the result = mean of a's rows listed in groups[j] (zeros when
+/// the group is empty). The message-passing aggregation of the MPNN
+/// encoder (paper §IV-C).
+Tensor aggregate_rows(const Tensor& a,
+                      std::vector<std::vector<std::size_t>> groups,
+                      std::size_t out_rows);
+/// Mean of all entries -> 1x1.
+Tensor mean_all(const Tensor& a);
+/// Numerically-stable binary cross-entropy with logits -> 1x1 mean loss.
+Tensor bce_with_logits(const Tensor& logits, const Matrix& targets);
+/// Weighted BCE-with-logits; weights same shape as targets.
+Tensor bce_with_logits(const Tensor& logits, const Matrix& targets,
+                       const Matrix& weights);
+/// Mean squared error against a constant target -> 1x1.
+Tensor mse(const Tensor& pred, const Matrix& targets);
+
+}  // namespace syn::nn

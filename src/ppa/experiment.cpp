@@ -1,0 +1,55 @@
+#include "ppa/experiment.hpp"
+
+#include "ppa/features.hpp"
+#include "ppa/metrics.hpp"
+
+namespace syn::ppa {
+
+ExperimentResult run_ppa_experiment(
+    const std::vector<graph::Graph>& train_real,
+    const std::vector<graph::Graph>& augmentation,
+    const std::vector<graph::Graph>& test,
+    const ExperimentOptions& options) {
+  std::vector<std::vector<double>> x_train, x_test;
+  std::vector<std::array<double, 4>> y_train, y_test;
+
+  auto ingest = [&](const std::vector<graph::Graph>& designs,
+                    std::vector<std::vector<double>>& xs,
+                    std::vector<std::array<double, 4>>& ys) {
+    for (const auto& g : designs) {
+      xs.push_back(design_features(g));
+      const PpaLabels labels = label_design(g, options.labels);
+      ys.push_back({labels.reg_slack, labels.wns, labels.tns, labels.area});
+    }
+  };
+  ingest(train_real, x_train, y_train);
+  ingest(augmentation, x_train, y_train);
+  ingest(test, x_test, y_test);
+
+  ExperimentResult result;
+  constexpr int kEnsemble = 5;  // averages away forest-seed variance
+  for (std::size_t target = 0; target < 4; ++target) {
+    std::vector<double> y;
+    y.reserve(y_train.size());
+    for (const auto& row : y_train) y.push_back(row[target]);
+
+    std::vector<double> truth, predicted(x_test.size(), 0.0);
+    for (std::size_t i = 0; i < x_test.size(); ++i) {
+      truth.push_back(y_test[i][target]);
+    }
+    for (int e = 0; e < kEnsemble; ++e) {
+      ForestConfig cfg = options.forest;
+      cfg.seed += target * 101 + static_cast<std::uint64_t>(e) * 9973;
+      RandomForest forest(cfg);
+      forest.fit(x_train, y);
+      for (std::size_t i = 0; i < x_test.size(); ++i) {
+        predicted[i] += forest.predict(x_test[i]) / kEnsemble;
+      }
+    }
+    result.targets[target] = {pearson_r(truth, predicted),
+                              mape(truth, predicted), rrse(truth, predicted)};
+  }
+  return result;
+}
+
+}  // namespace syn::ppa

@@ -1,0 +1,43 @@
+// Table III experiment harness: train PPA predictors on a basic set of
+// real designs plus an optional synthetic augmentation set, evaluate on
+// held-out real designs, report R / MAPE / RRSE for the four targets
+// (register slack, WNS, TNS, area).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graph/dcg.hpp"
+#include "ppa/labeler.hpp"
+#include "ppa/models.hpp"
+
+namespace syn::ppa {
+
+inline constexpr std::array<const char*, 4> kTargetNames = {
+    "Register Slack", "WNS", "TNS", "Area"};
+
+struct TargetScores {
+  double r = 0.0;
+  double mape = 0.0;
+  double rrse = 0.0;
+};
+
+struct ExperimentResult {
+  std::array<TargetScores, 4> targets;  // order follows kTargetNames
+};
+
+struct ExperimentOptions {
+  LabelOptions labels;
+  ForestConfig forest;
+};
+
+/// Labels every design with the synthesis + STA flow, fits one forest per
+/// target on (train + augmentation) and scores it on test.
+ExperimentResult run_ppa_experiment(
+    const std::vector<graph::Graph>& train_real,
+    const std::vector<graph::Graph>& augmentation,
+    const std::vector<graph::Graph>& test,
+    const ExperimentOptions& options = ExperimentOptions());
+
+}  // namespace syn::ppa

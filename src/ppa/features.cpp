@@ -1,0 +1,87 @@
+#include "ppa/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/node_type.hpp"
+
+namespace syn::ppa {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::NodeType;
+
+std::vector<double> design_features(const Graph& g) {
+  std::vector<double> f;
+  f.reserve(kDesignFeatureDim);
+  const double n = std::max<double>(1.0, static_cast<double>(g.num_nodes()));
+
+  // 16 type fractions.
+  for (auto count : g.type_histogram()) {
+    f.push_back(static_cast<double>(count) / n);
+  }
+  f.push_back(std::log1p(n));                                   // 16
+  f.push_back(static_cast<double>(g.num_edges()) / n);          // 17
+  f.push_back(std::log1p(static_cast<double>(g.register_bits())));  // 18
+
+  double width_mass = 0.0, mul_mass = 0.0, arith_mass = 0.0, mux_mass = 0.0;
+  double max_width = 0.0;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    const double w = g.width(i);
+    width_mass += w;
+    max_width = std::max(max_width, w);
+    switch (g.type(i)) {
+      case NodeType::kMul: mul_mass += w * w; break;
+      case NodeType::kAdd:
+      case NodeType::kSub: arith_mass += w; break;
+      case NodeType::kMux: mux_mass += w; break;
+      default: break;
+    }
+  }
+  f.push_back(std::log1p(width_mass));   // 19
+  f.push_back(std::log1p(mul_mass));     // 20
+  f.push_back(std::log1p(arith_mass));   // 21
+  f.push_back(std::log1p(mux_mass));     // 22
+  f.push_back(max_width);                // 23
+
+  const auto deg = graph::out_degrees(g);
+  double mean_deg = 0.0, max_deg = 0.0;
+  for (auto d : deg) {
+    mean_deg += static_cast<double>(d);
+    max_deg = std::max(max_deg, static_cast<double>(d));
+  }
+  f.push_back(mean_deg / n);  // 24
+  f.push_back(max_deg);       // 25
+
+  const auto depth = graph::longest_comb_depth(g);
+  f.push_back(depth ? static_cast<double>(*depth) : 0.0);  // 26
+
+  const auto mask = graph::observable_mask(g);
+  double observable = 0.0;
+  for (auto b : mask) observable += b;
+  f.push_back(observable / n);  // 27
+
+  f.resize(kDesignFeatureDim, 0.0);
+  return f;
+}
+
+const std::vector<std::string>& design_feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+      v.push_back("frac_" +
+                  std::string(graph::type_name(static_cast<NodeType>(t))));
+    }
+    v.insert(v.end(),
+             {"log_nodes", "edge_density", "log_reg_bits", "log_width_mass",
+              "log_mul_mass", "log_arith_mass", "log_mux_mass", "max_width",
+              "mean_out_degree", "max_out_degree", "comb_depth",
+              "observable_frac"});
+    return v;
+  }();
+  return names;
+}
+
+}  // namespace syn::ppa

@@ -1,0 +1,22 @@
+// RTL-stage feature extraction for the PPA prediction task (Table III).
+//
+// Mirrors the bag-of-structure feature recipe of MasterRTL-style
+// pre-synthesis predictors: type mix, width mass, arithmetic complexity,
+// degree and depth statistics — all computable from the RTL graph alone.
+#pragma once
+
+#include <vector>
+
+#include "graph/dcg.hpp"
+
+namespace syn::ppa {
+
+inline constexpr std::size_t kDesignFeatureDim = 28;
+
+/// Fixed-size feature vector for one design.
+std::vector<double> design_features(const graph::Graph& g);
+
+/// Human-readable names (for docs and debugging; same order as values).
+const std::vector<std::string>& design_feature_names();
+
+}  // namespace syn::ppa

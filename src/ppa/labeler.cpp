@@ -1,0 +1,33 @@
+#include "ppa/labeler.hpp"
+
+#include "sta/sta.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace syn::ppa {
+
+PpaLabels label_design(const graph::Graph& g, const LabelOptions& options) {
+  const auto synth = synth::synthesize(g);
+  PpaLabels labels;
+  labels.area = synth.stats.area;
+  double n = 0.0;
+  for (const double scale : options.delay_scales) {
+    const auto timing = sta::analyze(
+        synth.netlist,
+        {.clock_period_ns = options.clock_period_ns, .delay_scale = scale});
+    labels.wns += timing.wns;
+    labels.tns += timing.tns;
+    double slack_sum = 0.0;
+    for (double s : timing.register_slacks) slack_sum += s;
+    labels.reg_slack += timing.register_slacks.empty()
+                            ? options.clock_period_ns
+                            : slack_sum / static_cast<double>(
+                                              timing.register_slacks.size());
+    n += 1.0;
+  }
+  labels.wns /= n;
+  labels.tns /= n;
+  labels.reg_slack /= n;
+  return labels;
+}
+
+}  // namespace syn::ppa

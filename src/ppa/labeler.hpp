@@ -1,0 +1,31 @@
+// Ground-truth PPA label generation (the paper's Design Compiler +
+// NanGate45 labeling flow, §VII-A "Design label preparation").
+//
+// Labels come from the synthesis substrate + STA: design area, mean
+// register endpoint slack, WNS and TNS. Mirroring the paper's use of
+// several Design Compiler operating points, labels average a small sweep
+// of delay-scale settings along the area/delay Pareto frontier.
+#pragma once
+
+#include "graph/dcg.hpp"
+
+namespace syn::ppa {
+
+struct PpaLabels {
+  double area = 0.0;       // um^2
+  double reg_slack = 0.0;  // mean register endpoint slack (ns)
+  double wns = 0.0;        // worst negative slack (ns; >=0 means met)
+  double tns = 0.0;        // total negative slack (ns, <= 0)
+};
+
+struct LabelOptions {
+  double clock_period_ns = 1.2;
+  /// Delay-scale operating points averaged into the label (the Pareto
+  /// sweep stand-in). Values emulate different synthesis efforts.
+  std::vector<double> delay_scales{1.0, 0.85, 1.15};
+};
+
+PpaLabels label_design(const graph::Graph& g,
+                       const LabelOptions& options = LabelOptions());
+
+}  // namespace syn::ppa

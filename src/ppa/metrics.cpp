@@ -1,0 +1,65 @@
+#include "ppa/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace syn::ppa {
+
+namespace {
+void check(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || a.size() != b.size()) {
+    throw std::invalid_argument("metric: size mismatch");
+  }
+}
+double mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+}  // namespace
+
+double pearson_r(const std::vector<double>& truth,
+                 const std::vector<double>& predicted) {
+  check(truth, predicted);
+  const double mt = mean(truth), mp = mean(predicted);
+  double num = 0.0, dt = 0.0, dp = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    num += (truth[i] - mt) * (predicted[i] - mp);
+    dt += (truth[i] - mt) * (truth[i] - mt);
+    dp += (predicted[i] - mp) * (predicted[i] - mp);
+  }
+  if (dt < 1e-15 || dp < 1e-15) {
+    return std::numeric_limits<double>::quiet_NaN();  // "NA" in the paper
+  }
+  return num / std::sqrt(dt * dp);
+}
+
+double mape(const std::vector<double>& truth,
+            const std::vector<double>& predicted) {
+  check(truth, predicted);
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double denom = std::abs(truth[i]);
+    if (denom < 1e-9) continue;  // skip exact-zero targets
+    total += std::abs(truth[i] - predicted[i]) / denom;
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+double rrse(const std::vector<double>& truth,
+            const std::vector<double>& predicted) {
+  check(truth, predicted);
+  const double mt = mean(truth);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    num += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    den += (truth[i] - mt) * (truth[i] - mt);
+  }
+  if (den < 1e-15) return std::numeric_limits<double>::quiet_NaN();
+  return std::sqrt(num / den);
+}
+
+}  // namespace syn::ppa

@@ -1,0 +1,19 @@
+// Evaluation metrics for the PPA prediction task (Table III): Pearson
+// correlation R, mean absolute percentage error, root relative squared
+// error. R is NaN ("NA" in the paper) when predictions are constant.
+#pragma once
+
+#include <vector>
+
+namespace syn::ppa {
+
+double pearson_r(const std::vector<double>& truth,
+                 const std::vector<double>& predicted);
+
+double mape(const std::vector<double>& truth,
+            const std::vector<double>& predicted);
+
+double rrse(const std::vector<double>& truth,
+            const std::vector<double>& predicted);
+
+}  // namespace syn::ppa

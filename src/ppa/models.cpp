@@ -1,0 +1,209 @@
+#include "ppa/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace syn::ppa {
+
+// --- ridge -------------------------------------------------------------------
+
+void RidgeRegression::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("RidgeRegression: bad training data");
+  }
+  const std::size_t n = x.size();
+  const std::size_t d = x[0].size();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  for (const auto& row : x) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (std::size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(n);
+  for (const auto& row : x) {
+    for (std::size_t j = 0; j < d; ++j) {
+      stddev_[j] += (row[j] - mean_[j]) * (row[j] - mean_[j]);
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    stddev_[j] = std::sqrt(stddev_[j] / static_cast<double>(n)) + 1e-9;
+  }
+  // Normal equations on standardized features + intercept column.
+  const std::size_t m = d + 1;
+  std::vector<double> a(m * m, 0.0), b(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> z(m, 1.0);
+    for (std::size_t j = 0; j < d; ++j) {
+      z[j] = (x[i][j] - mean_[j]) / stddev_[j];
+    }
+    for (std::size_t p = 0; p < m; ++p) {
+      b[p] += z[p] * y[i];
+      for (std::size_t q = 0; q < m; ++q) a[p * m + q] += z[p] * z[q];
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) a[j * m + j] += lambda_;  // no intercept reg
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < m; ++r) {
+      if (std::abs(a[r * m + col]) > std::abs(a[pivot * m + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * m + col]) < 1e-12) continue;
+    if (pivot != col) {
+      for (std::size_t q = 0; q < m; ++q) std::swap(a[col * m + q], a[pivot * m + q]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * m + col];
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double factor = a[r * m + col] * inv;
+      for (std::size_t q = col; q < m; ++q) a[r * m + q] -= factor * a[col * m + q];
+      b[r] -= factor * b[col];
+    }
+  }
+  weights_.assign(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    weights_[j] = std::abs(a[j * m + j]) < 1e-12 ? 0.0 : b[j] / a[j * m + j];
+  }
+}
+
+double RidgeRegression::predict(const std::vector<double>& x) const {
+  if (weights_.empty()) throw std::logic_error("RidgeRegression: not fitted");
+  double out = weights_.back();  // intercept
+  for (std::size_t j = 0; j < mean_.size(); ++j) {
+    out += weights_[j] * (x[j] - mean_[j]) / stddev_[j];
+  }
+  return out;
+}
+
+// --- random forest -----------------------------------------------------------
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {}
+
+namespace {
+double mean_of(const std::vector<double>& y,
+               const std::vector<std::size_t>& rows) {
+  double s = 0.0;
+  for (auto r : rows) s += y[r];
+  return rows.empty() ? 0.0 : s / static_cast<double>(rows.size());
+}
+double sse_of(const std::vector<double>& y,
+              const std::vector<std::size_t>& rows, double mean) {
+  double s = 0.0;
+  for (auto r : rows) s += (y[r] - mean) * (y[r] - mean);
+  return s;
+}
+}  // namespace
+
+void RandomForest::grow(Tree& tree, int node_index,
+                        const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& y,
+                        std::vector<std::size_t>& rows, int depth,
+                        util::Rng& rng) {
+  const double node_mean = mean_of(y, rows);
+  tree.nodes[static_cast<std::size_t>(node_index)].value = node_mean;
+  if (depth >= config_.max_depth || rows.size() < 2 * config_.min_leaf) return;
+  const double node_sse = sse_of(y, rows, node_mean);
+  if (node_sse < 1e-12) return;
+
+  const std::size_t d = x[0].size();
+  const auto feature_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.feature_fraction *
+                                  static_cast<double>(d)));
+  const auto features = rng.sample_without_replacement(d, feature_count);
+
+  int best_feature = -1;
+  double best_threshold = 0.0, best_gain = 1e-12;
+  for (const std::size_t j : features) {
+    // Candidate thresholds: midpoints of sorted unique values.
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (auto r : rows) values.push_back(x[r][j]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    for (std::size_t v = 0; v + 1 < values.size(); ++v) {
+      const double threshold = 0.5 * (values[v] + values[v + 1]);
+      double ls = 0.0, rs = 0.0, ln = 0.0, rn = 0.0;
+      for (auto r : rows) {
+        if (x[r][j] <= threshold) {
+          ls += y[r];
+          ln += 1.0;
+        } else {
+          rs += y[r];
+          rn += 1.0;
+        }
+      }
+      if (ln < static_cast<double>(config_.min_leaf) ||
+          rn < static_cast<double>(config_.min_leaf)) {
+        continue;
+      }
+      double lsse = 0.0, rsse = 0.0;
+      const double lm = ls / ln, rm = rs / rn;
+      for (auto r : rows) {
+        const double diff = y[r] - (x[r][j] <= threshold ? lm : rm);
+        lsse += diff * diff;
+      }
+      rsse = 0.0;  // folded into lsse above
+      const double gain = node_sse - lsse - rsse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(j);
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return;
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (auto r : rows) {
+    (x[r][static_cast<std::size_t>(best_feature)] <= best_threshold
+         ? left_rows
+         : right_rows)
+        .push_back(r);
+  }
+  const int left = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  const int right = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  auto& node = tree.nodes[static_cast<std::size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  grow(tree, left, x, y, left_rows, depth + 1, rng);
+  grow(tree, right, x, y, right_rows, depth + 1, rng);
+}
+
+void RandomForest::fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("RandomForest: bad training data");
+  }
+  util::Rng rng(config_.seed);
+  trees_.assign(static_cast<std::size_t>(config_.trees), {});
+  for (auto& tree : trees_) {
+    std::vector<std::size_t> rows(x.size());
+    for (auto& r : rows) r = rng.uniform_int(x.size());  // bootstrap
+    tree.nodes.emplace_back();
+    grow(tree, 0, x, y, rows, 0, rng);
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    int idx = 0;
+    while (tree.nodes[static_cast<std::size_t>(idx)].feature >= 0) {
+      const auto& node = tree.nodes[static_cast<std::size_t>(idx)];
+      idx = x[static_cast<std::size_t>(node.feature)] <= node.threshold
+                ? node.left
+                : node.right;
+    }
+    sum += tree.nodes[static_cast<std::size_t>(idx)].value;
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace syn::ppa

@@ -1,0 +1,81 @@
+// Regression models for the PPA prediction task: ridge regression (linear
+// baseline) and a random forest (the tree-ensemble family MasterRTL-style
+// predictors use).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace syn::ppa {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void fit(const std::vector<std::vector<double>>& x,
+                   const std::vector<double>& y) = 0;
+  [[nodiscard]] virtual double predict(
+      const std::vector<double>& x) const = 0;
+
+  [[nodiscard]] std::vector<double> predict_all(
+      const std::vector<std::vector<double>>& x) const {
+    std::vector<double> out;
+    out.reserve(x.size());
+    for (const auto& row : x) out.push_back(predict(row));
+    return out;
+  }
+};
+
+/// Closed-form ridge regression with feature standardization.
+class RidgeRegression : public Regressor {
+ public:
+  explicit RidgeRegression(double lambda = 1.0) : lambda_(lambda) {}
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y) override;
+  [[nodiscard]] double predict(const std::vector<double>& x) const override;
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;  // includes intercept at the end
+  std::vector<double> mean_, stddev_;
+};
+
+struct ForestConfig {
+  int trees = 60;
+  int max_depth = 5;
+  std::size_t min_leaf = 2;
+  double feature_fraction = 0.7;
+  std::uint64_t seed = 19;
+};
+
+/// Bagged regression trees with variance-reduction splits.
+class RandomForest : public Regressor {
+ public:
+  explicit RandomForest(ForestConfig config = ForestConfig());
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y) override;
+  [[nodiscard]] double predict(const std::vector<double>& x) const override;
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 = leaf
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction
+    int left = -1, right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  void grow(Tree& tree, int node_index,
+            const std::vector<std::vector<double>>& x,
+            const std::vector<double>& y, std::vector<std::size_t>& rows,
+            int depth, util::Rng& rng);
+
+  ForestConfig config_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace syn::ppa

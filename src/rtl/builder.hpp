@@ -1,0 +1,101 @@
+// Ergonomic construction helper for circuit DCGs.
+//
+// Registers participate in cycles, so they are created first and driven
+// later (`drive_reg`), exactly mirroring how HDL declares a reg before its
+// always-block assignment.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dcg.hpp"
+
+namespace syn::rtl {
+
+class Builder {
+ public:
+  explicit Builder(std::string name) : g_(std::move(name)) {}
+
+  using NodeId = graph::NodeId;
+  using NodeType = graph::NodeType;
+
+  NodeId input(int width) { return g_.add_node(NodeType::kInput, width); }
+  NodeId constant(int width, std::uint32_t value) {
+    return g_.add_node(NodeType::kConst, width, value);
+  }
+  /// Creates a register with its D input unconnected; call drive_reg later.
+  NodeId reg(int width) { return g_.add_node(NodeType::kReg, width); }
+  void drive_reg(NodeId r, NodeId d) { g_.set_fanin(r, 0, d); }
+
+  NodeId output(NodeId src) {
+    const NodeId o = g_.add_node(NodeType::kOutput, g_.width(src));
+    g_.set_fanin(o, 0, src);
+    return o;
+  }
+
+  NodeId unary(NodeType t, int width, NodeId a) {
+    const NodeId n = g_.add_node(t, width);
+    g_.set_fanin(n, 0, a);
+    return n;
+  }
+  NodeId binary(NodeType t, int width, NodeId a, NodeId b) {
+    const NodeId n = g_.add_node(t, width);
+    g_.set_fanin(n, 0, a);
+    g_.set_fanin(n, 1, b);
+    return n;
+  }
+
+  NodeId not_(NodeId a) { return unary(NodeType::kNot, g_.width(a), a); }
+  NodeId and_(NodeId a, NodeId b) {
+    return binary(NodeType::kAnd, g_.width(a), a, b);
+  }
+  NodeId or_(NodeId a, NodeId b) {
+    return binary(NodeType::kOr, g_.width(a), a, b);
+  }
+  NodeId xor_(NodeId a, NodeId b) {
+    return binary(NodeType::kXor, g_.width(a), a, b);
+  }
+  NodeId add(NodeId a, NodeId b) {
+    return binary(NodeType::kAdd, g_.width(a), a, b);
+  }
+  NodeId sub(NodeId a, NodeId b) {
+    return binary(NodeType::kSub, g_.width(a), a, b);
+  }
+  NodeId mul(NodeId a, NodeId b) {
+    return binary(NodeType::kMul, g_.width(a), a, b);
+  }
+  NodeId eq(NodeId a, NodeId b) { return binary(NodeType::kEq, 1, a, b); }
+  NodeId lt(NodeId a, NodeId b) { return binary(NodeType::kLt, 1, a, b); }
+
+  NodeId mux(NodeId sel, NodeId then_v, NodeId else_v) {
+    const NodeId n = g_.add_node(NodeType::kMux, g_.width(then_v));
+    g_.set_fanin(n, 0, sel);
+    g_.set_fanin(n, 1, then_v);
+    g_.set_fanin(n, 2, else_v);
+    return n;
+  }
+
+  /// bits [lo + width - 1 : lo] of a (zero-padded if out of range).
+  NodeId bits(NodeId a, int lo, int width) {
+    const NodeId n = g_.add_node(NodeType::kBitSelect, width,
+                                 static_cast<std::uint32_t>(lo));
+    g_.set_fanin(n, 0, a);
+    return n;
+  }
+  NodeId bit(NodeId a, int index) { return bits(a, index, 1); }
+
+  /// {a, b} truncated/extended to width.
+  NodeId concat(NodeId a, NodeId b, int width) {
+    const NodeId n = g_.add_node(NodeType::kConcat, width);
+    g_.set_fanin(n, 0, a);
+    g_.set_fanin(n, 1, b);
+    return n;
+  }
+
+  [[nodiscard]] graph::Graph take() { return std::move(g_); }
+  [[nodiscard]] graph::Graph& graph() { return g_; }
+
+ private:
+  graph::Graph g_;
+};
+
+}  // namespace syn::rtl

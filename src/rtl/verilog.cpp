@@ -1,0 +1,444 @@
+#include "rtl/verilog.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "graph/node_type.hpp"
+
+namespace syn::rtl {
+
+using graph::Graph;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::NodeType;
+
+namespace {
+
+std::string sig_name(const Graph& g, NodeId id) {
+  switch (g.type(id)) {
+    case NodeType::kInput:
+      return "in" + std::to_string(id);
+    case NodeType::kOutput:
+      return "out" + std::to_string(id);
+    default:
+      return "w" + std::to_string(id);
+  }
+}
+
+std::string range_of(int width) {
+  return "[" + std::to_string(width - 1) + ":0]";
+}
+
+std::uint32_t masked_const(std::uint32_t value, int width) {
+  if (width >= 32) return value;
+  return value & ((1U << width) - 1U);
+}
+
+const char* binop_token(NodeType t) {
+  switch (t) {
+    case NodeType::kAnd: return "&";
+    case NodeType::kOr: return "|";
+    case NodeType::kXor: return "^";
+    case NodeType::kAdd: return "+";
+    case NodeType::kSub: return "-";
+    case NodeType::kMul: return "*";
+    case NodeType::kEq: return "==";
+    case NodeType::kLt: return "<";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string to_verilog(const Graph& g) {
+  if (!g.all_fanins_complete()) {
+    throw std::invalid_argument("to_verilog: graph has unconnected fan-ins");
+  }
+  std::ostringstream body;
+  std::ostringstream ports;
+  ports << "clk";
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (g.type(i) == NodeType::kInput) ports << ", in" << i;
+    if (g.type(i) == NodeType::kOutput) ports << ", out" << i;
+  }
+
+  body << "  input clk;\n";
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    const NodeType t = g.type(i);
+    const int w = g.width(i);
+    const auto fan = [&](int s) { return sig_name(g, g.fanin(i, s)); };
+    switch (t) {
+      case NodeType::kInput:
+        body << "  input " << range_of(w) << " in" << i << ";\n";
+        break;
+      case NodeType::kOutput:
+        body << "  output " << range_of(w) << " out" << i << ";\n"
+             << "  assign out" << i << " = " << fan(0) << ";\n";
+        break;
+      case NodeType::kConst:
+        body << "  wire " << range_of(w) << " w" << i << " = " << w << "'d"
+             << masked_const(g.param(i), w) << ";\n";
+        break;
+      case NodeType::kReg:
+        body << "  reg " << range_of(w) << " w" << i << ";\n"
+             << "  always @(posedge clk) w" << i << " <= " << fan(0) << ";\n";
+        break;
+      case NodeType::kNot:
+        body << "  wire " << range_of(w) << " w" << i << " = ~" << fan(0)
+             << ";\n";
+        break;
+      case NodeType::kMux:
+        body << "  wire " << range_of(w) << " w" << i << " = (|" << fan(0)
+             << ") ? " << fan(1) << " : " << fan(2) << ";\n";
+        break;
+      case NodeType::kBitSelect: {
+        const int lo = static_cast<int>(g.param(i));
+        const int hi = lo + w - 1;
+        // Zero-extend through an intermediate wire so the part-select is
+        // always within range regardless of the driver's width.
+        body << "  wire [" << hi << ":0] wp" << i << " = " << fan(0) << ";\n"
+             << "  wire " << range_of(w) << " w" << i << " = wp" << i << "["
+             << hi << ":" << lo << "];\n";
+        break;
+      }
+      case NodeType::kConcat:
+        body << "  wire " << range_of(w) << " w" << i << " = {" << fan(0)
+             << ", " << fan(1) << "};\n";
+        break;
+      default: {
+        const char* op = binop_token(t);
+        body << "  wire " << range_of(w) << " w" << i << " = " << fan(0)
+             << " " << op << " " << fan(1) << ";\n";
+        break;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "module " << (g.name().empty() ? "syn_design" : g.name()) << "("
+      << ports.str() << ");\n"
+      << body.str() << "endmodule\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool eat(std::string_view token) {
+    skip_ws();
+    if (text.substr(pos, token.size()) == token) {
+      pos += token.size();
+      return true;
+    }
+    return false;
+  }
+  void expect(std::string_view token, const char* context) {
+    if (!eat(token)) {
+      throw VerilogParseError(std::string("expected '") + std::string(token) +
+                              "' in " + context);
+    }
+  }
+  std::uint64_t number(const char* context) {
+    skip_ws();
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      throw VerilogParseError(std::string("expected number in ") + context);
+    }
+    std::uint64_t value = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+      ++pos;
+    }
+    return value;
+  }
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+  char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+};
+
+struct PendingNode {
+  NodeType type = NodeType::kConst;
+  int width = 1;
+  std::uint32_t param = 0;
+  // Referenced signals (by node id) per fan-in slot; resolved at the end.
+  std::vector<NodeId> fanin_ids;
+  bool declared = false;
+};
+
+/// "w12" / "in3" / "out7" -> node id; anything else is an error.
+NodeId id_of_signal(const std::string& name) {
+  std::size_t digits = 0;
+  while (digits < name.size() &&
+         !std::isdigit(static_cast<unsigned char>(name[digits]))) {
+    ++digits;
+  }
+  const std::string prefix = name.substr(0, digits);
+  if ((prefix != "w" && prefix != "in" && prefix != "out" && prefix != "wp") ||
+      digits == name.size()) {
+    throw VerilogParseError("unknown signal '" + name + "'");
+  }
+  return static_cast<NodeId>(std::stoul(name.substr(digits)));
+}
+
+int parse_range(Cursor& line) {
+  line.expect("[", "range");
+  const auto msb = static_cast<int>(line.number("range msb"));
+  line.expect(":", "range");
+  line.expect("0", "range lsb");
+  line.expect("]", "range");
+  return msb + 1;
+}
+
+NodeType binop_from_token(char first, char second) {
+  switch (first) {
+    case '&': return NodeType::kAnd;
+    case '|': return NodeType::kOr;
+    case '^': return NodeType::kXor;
+    case '+': return NodeType::kAdd;
+    case '-': return NodeType::kSub;
+    case '*': return NodeType::kMul;
+    case '=': return NodeType::kEq;
+    case '<': return second == '=' ? NodeType::kEq /*unreachable*/
+                                   : NodeType::kLt;
+    default:
+      throw VerilogParseError(std::string("unknown operator '") + first + "'");
+  }
+}
+
+}  // namespace
+
+Graph from_verilog(const std::string& text) {
+  Cursor cur{text};
+  cur.expect("module", "module header");
+  const std::string module_name = cur.ident();
+  // Skip the port list: the per-node declarations carry all information.
+  cur.expect("(", "module header");
+  while (!cur.at_end() && cur.peek() != ')') ++cur.pos;
+  cur.expect(")", "module header");
+  cur.expect(";", "module header");
+
+  std::map<NodeId, PendingNode> pending;
+  auto& nodes = pending;
+
+  auto ensure = [&](NodeId id) -> PendingNode& { return nodes[id]; };
+
+  bool closed = false;
+  while (!cur.at_end()) {
+    if (cur.eat("endmodule")) {
+      closed = true;
+      break;
+    }
+    if (cur.eat("input")) {
+      if (cur.eat("clk")) {
+        cur.expect(";", "clk declaration");
+        continue;
+      }
+      const int width = parse_range(cur);
+      const std::string name = cur.ident();
+      cur.expect(";", "input declaration");
+      auto& n = ensure(id_of_signal(name));
+      n.type = NodeType::kInput;
+      n.width = width;
+      n.declared = true;
+      continue;
+    }
+    if (cur.eat("output")) {
+      const int width = parse_range(cur);
+      const std::string name = cur.ident();
+      cur.expect(";", "output declaration");
+      auto& n = ensure(id_of_signal(name));
+      n.type = NodeType::kOutput;
+      n.width = width;
+      n.declared = true;
+      n.fanin_ids.assign(1, kNoNode);
+      continue;
+    }
+    if (cur.eat("assign")) {
+      const std::string lhs = cur.ident();
+      cur.expect("=", "assign");
+      const std::string rhs = cur.ident();
+      cur.expect(";", "assign");
+      ensure(id_of_signal(lhs)).fanin_ids.assign(1, id_of_signal(rhs));
+      continue;
+    }
+    if (cur.eat("reg")) {
+      const int width = parse_range(cur);
+      const std::string name = cur.ident();
+      cur.expect(";", "reg declaration");
+      auto& n = ensure(id_of_signal(name));
+      n.type = NodeType::kReg;
+      n.width = width;
+      n.declared = true;
+      if (n.fanin_ids.empty()) n.fanin_ids.assign(1, kNoNode);
+      continue;
+    }
+    if (cur.eat("always")) {
+      cur.expect("@", "always");
+      cur.expect("(", "always");
+      cur.expect("posedge", "always");
+      cur.expect("clk", "always");
+      cur.expect(")", "always");
+      const std::string lhs = cur.ident();
+      cur.expect("<=", "nonblocking assign");
+      const std::string rhs = cur.ident();
+      cur.expect(";", "nonblocking assign");
+      ensure(id_of_signal(lhs)).fanin_ids.assign(1, id_of_signal(rhs));
+      continue;
+    }
+    if (cur.eat("wire")) {
+      const int width = parse_range(cur);
+      const std::string name = cur.ident();
+      cur.expect("=", "wire definition");
+      const bool is_pad = name.substr(0, 2) == "wp";
+      const NodeId id = id_of_signal(name);
+      auto& n = ensure(id);
+      if (is_pad) {
+        // "wire [hi:0] wp<i> = <src>;" — remember the bit-select source.
+        const std::string src = cur.ident();
+        cur.expect(";", "pad wire");
+        n.type = NodeType::kBitSelect;
+        n.fanin_ids.assign(1, id_of_signal(src));
+        continue;
+      }
+      n.width = width;
+      n.declared = true;
+      cur.skip_ws();
+      const char head = cur.peek();
+      if (head == '~') {
+        cur.expect("~", "not");
+        const std::string a = cur.ident();
+        cur.expect(";", "not");
+        n.type = NodeType::kNot;
+        n.fanin_ids.assign(1, id_of_signal(a));
+      } else if (head == '(') {
+        cur.expect("(", "mux");
+        cur.expect("|", "mux");
+        const std::string s = cur.ident();
+        cur.expect(")", "mux");
+        cur.expect("?", "mux");
+        const std::string a = cur.ident();
+        cur.expect(":", "mux");
+        const std::string b = cur.ident();
+        cur.expect(";", "mux");
+        n.type = NodeType::kMux;
+        n.fanin_ids = {id_of_signal(s), id_of_signal(a), id_of_signal(b)};
+      } else if (head == '{') {
+        cur.expect("{", "concat");
+        const std::string a = cur.ident();
+        cur.expect(",", "concat");
+        const std::string b = cur.ident();
+        cur.expect("}", "concat");
+        cur.expect(";", "concat");
+        n.type = NodeType::kConcat;
+        n.fanin_ids = {id_of_signal(a), id_of_signal(b)};
+      } else if (std::isdigit(static_cast<unsigned char>(head))) {
+        // "<w>'d<value>;"
+        (void)cur.number("const width");
+        cur.expect("'", "const");
+        cur.expect("d", "const");
+        const auto value = cur.number("const value");
+        cur.expect(";", "const");
+        n.type = NodeType::kConst;
+        n.param = static_cast<std::uint32_t>(value);
+        n.fanin_ids.clear();
+      } else {
+        const std::string a = cur.ident();
+        cur.skip_ws();
+        if (cur.peek() == '[') {
+          // "wp<i>[hi:lo];" — bit-select body; source recorded by pad wire.
+          cur.expect("[", "bit select");
+          (void)cur.number("bit select hi");
+          cur.expect(":", "bit select");
+          const auto lo = cur.number("bit select lo");
+          cur.expect("]", "bit select");
+          cur.expect(";", "bit select");
+          n.type = NodeType::kBitSelect;
+          n.param = static_cast<std::uint32_t>(lo);
+          // fan-in was stored on the same id by the pad wire line
+        } else if (cur.peek() == ';') {
+          throw VerilogParseError("bare copy wires are never emitted");
+        } else {
+          char op1 = cur.peek();
+          ++cur.pos;
+          char op2 = cur.peek();
+          NodeType t;
+          if (op1 == '=' && op2 == '=') {
+            ++cur.pos;
+            t = NodeType::kEq;
+          } else {
+            t = binop_from_token(op1, op2);
+          }
+          const std::string b = cur.ident();
+          cur.expect(";", "binary op");
+          n.type = t;
+          n.fanin_ids = {id_of_signal(a), id_of_signal(b)};
+        }
+      }
+      continue;
+    }
+    throw VerilogParseError("unrecognized statement near offset " +
+                            std::to_string(cur.pos));
+  }
+
+  if (!closed) throw VerilogParseError("missing endmodule");
+  // Materialize nodes; ids must be dense 0..n-1 (the writer guarantees it).
+  Graph g(module_name);
+  NodeId expected = 0;
+  for (const auto& [id, n] : nodes) {
+    if (id != expected++) {
+      throw VerilogParseError("non-dense node ids in module");
+    }
+    if (!n.declared) {
+      throw VerilogParseError("signal w" + std::to_string(id) +
+                              " referenced but never declared");
+    }
+    g.add_node(n.type, n.width, n.param);
+  }
+  for (const auto& [id, n] : nodes) {
+    const int slots = graph::arity(n.type);
+    if (static_cast<int>(n.fanin_ids.size()) != slots) {
+      throw VerilogParseError("node " + std::to_string(id) +
+                              " has wrong fan-in count");
+    }
+    for (int s = 0; s < slots; ++s) {
+      if (n.fanin_ids[static_cast<std::size_t>(s)] == kNoNode) {
+        throw VerilogParseError("node " + std::to_string(id) +
+                                " fan-in never assigned");
+      }
+      g.set_fanin(id, s, n.fanin_ids[static_cast<std::size_t>(s)]);
+    }
+  }
+  return g;
+}
+
+}  // namespace syn::rtl

@@ -1,0 +1,30 @@
+// Verilog emission and parsing — the bijection f : D <-> G of paper §II.
+//
+// The writer emits a structured synthesizable Verilog-2001 subset: one
+// declaration or assignment per node, wires named w<id>, ports named
+// in<id> / out<id>, a single clock `clk`. Because every RHS contains
+// exactly one operator, the parser recovers the graph exactly
+// (from_verilog(to_verilog(g)) == g for any valid g), which is what makes
+// the generated designs consumable by ordinary RTL tooling.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "graph/dcg.hpp"
+
+namespace syn::rtl {
+
+/// Emits the graph as a self-contained Verilog module. Unconnected fan-in
+/// slots are rejected (the graph must satisfy C1).
+std::string to_verilog(const graph::Graph& g);
+
+struct VerilogParseError : std::runtime_error {
+  explicit VerilogParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Parses a module previously produced by to_verilog back into a graph.
+graph::Graph from_verilog(const std::string& text);
+
+}  // namespace syn::rtl

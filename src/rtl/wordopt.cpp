@@ -1,0 +1,305 @@
+#include "rtl/wordopt.hpp"
+
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace syn::rtl {
+
+using graph::Graph;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::NodeType;
+
+namespace {
+
+std::uint64_t mask_of(const Graph& g, NodeId n) {
+  const int w = g.width(n);
+  return w >= 64 ? ~0ULL : ((1ULL << w) - 1ULL);
+}
+
+/// Constant value of a node if statically known, else nullopt.
+struct ConstLattice {
+  std::vector<bool> known;
+  std::vector<std::uint64_t> value;
+};
+
+/// Forward constant propagation over the combinational order; registers
+/// whose D input is a known constant converge to it (reset-free X
+/// semantics, matching the gate-level pass), discovered by iterating to a
+/// fixpoint.
+ConstLattice propagate_constants(const Graph& g) {
+  ConstLattice lattice{std::vector<bool>(g.num_nodes(), false),
+                       std::vector<std::uint64_t>(g.num_nodes(), 0)};
+  const auto order = graph::comb_topo_order(g);
+  if (!order) throw std::invalid_argument("word_optimize: comb loop");
+
+  auto known = [&](NodeId n) { return lattice.known[n]; };
+  auto val = [&](NodeId n) { return lattice.value[n]; };
+
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 8) {
+    changed = false;
+    for (NodeId n : *order) {
+      if (lattice.known[n]) continue;
+      const auto& fan = g.fanins(n);
+      const std::uint64_t mask = mask_of(g, n);
+      bool now_known = false;
+      std::uint64_t v = 0;
+      switch (g.type(n)) {
+        case NodeType::kConst:
+          now_known = true;
+          v = g.param(n) & mask;
+          break;
+        case NodeType::kReg:
+          // Register with constant D holds that value after the first
+          // cycle; with an unconnected-to-anything-variable self value it
+          // is swept later by observability.
+          if (known(fan[0])) {
+            now_known = true;
+            v = val(fan[0]) & mask;
+          }
+          break;
+        case NodeType::kNot:
+          if (known(fan[0])) {
+            now_known = true;
+            v = ~val(fan[0]) & mask;
+          }
+          break;
+        case NodeType::kAnd:
+          if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = (val(fan[0]) & val(fan[1])) & mask;
+          } else if ((known(fan[0]) && val(fan[0]) == 0) ||
+                     (known(fan[1]) && val(fan[1]) == 0)) {
+            now_known = true;
+            v = 0;
+          }
+          break;
+        case NodeType::kOr:
+          if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = (val(fan[0]) | val(fan[1])) & mask;
+          }
+          break;
+        case NodeType::kXor:
+          if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = (val(fan[0]) ^ val(fan[1])) & mask;
+          }
+          break;
+        case NodeType::kAdd:
+          if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = (val(fan[0]) + val(fan[1])) & mask;
+          }
+          break;
+        case NodeType::kSub:
+          if (fan[0] == fan[1]) {
+            now_known = true;
+            v = 0;
+          } else if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = (val(fan[0]) - val(fan[1])) & mask;
+          }
+          break;
+        case NodeType::kMul:
+          if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = (val(fan[0]) * val(fan[1])) & mask;
+          } else if ((known(fan[0]) && val(fan[0]) == 0) ||
+                     (known(fan[1]) && val(fan[1]) == 0)) {
+            now_known = true;
+            v = 0;
+          }
+          break;
+        case NodeType::kEq:
+          if (fan[0] == fan[1]) {
+            now_known = true;
+            v = 1;
+          } else if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = val(fan[0]) == val(fan[1]) ? 1 : 0;
+          }
+          break;
+        case NodeType::kLt:
+          if (fan[0] == fan[1]) {
+            now_known = true;
+            v = 0;
+          } else if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = val(fan[0]) < val(fan[1]) ? 1 : 0;
+          }
+          break;
+        case NodeType::kMux:
+          if (known(fan[0])) {
+            const NodeId pick = val(fan[0]) != 0 ? fan[1] : fan[2];
+            if (known(pick)) {
+              now_known = true;
+              v = val(pick) & mask;
+            }
+          } else if (known(fan[1]) && known(fan[2]) &&
+                     val(fan[1]) == val(fan[2])) {
+            now_known = true;
+            v = val(fan[1]) & mask;
+          }
+          break;
+        case NodeType::kBitSelect:
+          if (known(fan[0])) {
+            now_known = true;
+            v = (val(fan[0]) >> g.param(n)) & mask;
+          }
+          break;
+        case NodeType::kConcat:
+          if (known(fan[0]) && known(fan[1])) {
+            now_known = true;
+            v = ((val(fan[0]) << g.width(fan[1])) | val(fan[1])) & mask;
+          }
+          break;
+        default:
+          break;  // inputs/outputs stay unknown
+      }
+      if (now_known) {
+        lattice.known[n] = true;
+        lattice.value[n] = v;
+        changed = true;
+      }
+    }
+  }
+  return lattice;
+}
+
+}  // namespace
+
+WordOptResult word_optimize(const Graph& g) {
+  WordOptResult result;
+  const ConstLattice lattice = propagate_constants(g);
+
+  // Identity-forwarding map: node -> equivalent earlier node.
+  std::vector<NodeId> forward(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) forward[i] = i;
+  auto resolve = [&](NodeId n) {
+    while (forward[n] != n) n = forward[n];
+    return n;
+  };
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.type(n) == NodeType::kOutput || lattice.known[n]) continue;
+    const auto& fan = g.fanins(n);
+    auto kv = [&](NodeId p, std::uint64_t expect) {
+      return lattice.known[p] && (lattice.value[p] & mask_of(g, n)) == expect;
+    };
+    NodeId target = kNoNode;
+    switch (g.type(n)) {
+      case NodeType::kAnd:
+        // x & ~0 == x (same width only)
+        if (kv(fan[0], mask_of(g, n)) && g.width(fan[1]) == g.width(n)) {
+          target = fan[1];
+        } else if (kv(fan[1], mask_of(g, n)) &&
+                   g.width(fan[0]) == g.width(n)) {
+          target = fan[0];
+        } else if (fan[0] == fan[1] && g.width(fan[0]) == g.width(n)) {
+          target = fan[0];
+        }
+        break;
+      case NodeType::kOr:
+        if (kv(fan[0], 0) && g.width(fan[1]) == g.width(n)) {
+          target = fan[1];
+        } else if (kv(fan[1], 0) && g.width(fan[0]) == g.width(n)) {
+          target = fan[0];
+        } else if (fan[0] == fan[1] && g.width(fan[0]) == g.width(n)) {
+          target = fan[0];
+        }
+        break;
+      case NodeType::kXor:
+      case NodeType::kAdd:
+        if (kv(fan[0], 0) && g.width(fan[1]) == g.width(n)) {
+          target = fan[1];
+        } else if (kv(fan[1], 0) && g.width(fan[0]) == g.width(n)) {
+          target = fan[0];
+        }
+        break;
+      case NodeType::kMux:
+        if (fan[1] == fan[2] && g.width(fan[1]) == g.width(n)) {
+          target = fan[1];
+        } else if (lattice.known[resolve(fan[0])]) {
+          const NodeId pick =
+              lattice.value[resolve(fan[0])] != 0 ? fan[1] : fan[2];
+          if (g.width(pick) == g.width(n)) target = pick;
+        }
+        break;
+      default:
+        break;
+    }
+    if (target != kNoNode && resolve(target) != n) {
+      forward[n] = resolve(target);
+      ++result.identity_rewrites;
+    }
+  }
+
+  // Build the optimized graph: constants become kConst nodes; forwarded
+  // nodes vanish; unobservable nodes are swept.
+  // First compute observability over the *rewritten* edges.
+  const std::size_t n_nodes = g.num_nodes();
+  std::vector<bool> live(n_nodes, false);
+  std::vector<NodeId> work;
+  for (NodeId i = 0; i < n_nodes; ++i) {
+    if (g.type(i) == NodeType::kOutput) {
+      live[i] = true;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId cur = work.back();
+    work.pop_back();
+    if (lattice.known[cur] && g.type(cur) != NodeType::kOutput) {
+      continue;  // becomes a constant leaf; fan-ins not needed
+    }
+    for (NodeId p : g.fanins(cur)) {
+      const NodeId r = resolve(p);
+      if (!live[r]) {
+        live[r] = true;
+        work.push_back(r);
+      }
+    }
+  }
+
+  result.remap.assign(n_nodes, kNoNode);
+  Graph out(g.name());
+  for (NodeId i = 0; i < n_nodes; ++i) {
+    if (!live[i] || forward[i] != i) continue;
+    if (lattice.known[i] && g.type(i) != NodeType::kOutput &&
+        g.type(i) != NodeType::kConst) {
+      result.remap[i] = out.add_node(
+          NodeType::kConst, g.width(i),
+          static_cast<std::uint32_t>(lattice.value[i] & 0xffffffffULL));
+      ++result.folded_constants;
+    } else {
+      result.remap[i] = out.add_node(g.type(i), g.width(i), g.param(i));
+    }
+  }
+  for (NodeId i = 0; i < n_nodes; ++i) {
+    const NodeId new_id = result.remap[i];
+    if (new_id == kNoNode) continue;
+    if (out.type(new_id) == NodeType::kConst) continue;  // leaf now
+    const auto& fan = g.fanins(i);
+    for (std::size_t s = 0; s < fan.size(); ++s) {
+      const NodeId p = resolve(fan[s]);
+      out.set_fanin(new_id, static_cast<int>(s), result.remap[p]);
+    }
+  }
+  // Resolve remap entries of forwarded / folded nodes for the caller.
+  for (NodeId i = 0; i < n_nodes; ++i) {
+    if (result.remap[i] == kNoNode && live[resolve(i)]) {
+      result.remap[i] = result.remap[resolve(i)];
+    }
+  }
+  result.swept_nodes = 0;
+  for (NodeId i = 0; i < n_nodes; ++i) {
+    result.swept_nodes += result.remap[i] == kNoNode;
+  }
+  result.graph = std::move(out);
+  return result;
+}
+
+}  // namespace syn::rtl

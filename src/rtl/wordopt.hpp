@@ -1,0 +1,29 @@
+// Word-level RTL optimization (pre-synthesis).
+//
+// Mirrors — at word granularity — the simplifications the gate-level flow
+// performs: constant folding, algebraic identities, register sweeping and
+// dead-logic elimination. Useful both as a library feature (cheap cleanup
+// of generated circuits) and as a fast pre-synthesis estimate of how much
+// of a design will survive synthesis.
+#pragma once
+
+#include <vector>
+
+#include "graph/dcg.hpp"
+
+namespace syn::rtl {
+
+struct WordOptResult {
+  graph::Graph graph;  // compacted optimized graph
+  /// old node id -> new node id, or graph::kNoNode if eliminated.
+  std::vector<graph::NodeId> remap;
+  std::size_t folded_constants = 0;
+  std::size_t identity_rewrites = 0;
+  std::size_t swept_nodes = 0;
+};
+
+/// Optimizes a valid graph; the result is again valid, with identical
+/// IO behaviour (outputs are preserved in order).
+WordOptResult word_optimize(const graph::Graph& g);
+
+}  // namespace syn::rtl

@@ -1,0 +1,149 @@
+#include "sta/critical_path.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace syn::sta {
+
+using synth::Gate;
+using synth::gate_arity;
+using synth::GateId;
+using synth::GateKind;
+using synth::kNoGate;
+using synth::Netlist;
+
+namespace {
+
+const char* kind_name(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0: return "const0";
+    case GateKind::kConst1: return "const1";
+    case GateKind::kInput: return "input";
+    case GateKind::kInv: return "inv";
+    case GateKind::kAnd: return "and";
+    case GateKind::kOr: return "or";
+    case GateKind::kXor: return "xor";
+    case GateKind::kMux: return "mux";
+    case GateKind::kDff: return "dff";
+    case GateKind::kPo: return "po";
+  }
+  return "?";
+}
+
+bool is_comb(GateKind k) {
+  return k == GateKind::kInv || k == GateKind::kAnd || k == GateKind::kOr ||
+         k == GateKind::kXor || k == GateKind::kMux;
+}
+
+}  // namespace
+
+std::vector<TimingPath> worst_paths(const Netlist& nl,
+                                    const TimingOptions& options,
+                                    std::size_t k) {
+  const double scale = options.delay_scale;
+  // Recompute arrivals (same algorithm as analyze(); kept local so the
+  // tracing can reuse the arrival array).
+  std::vector<double> arrival(nl.size(), 0.0);
+  std::vector<std::size_t> pending(nl.size(), 0);
+  std::vector<std::vector<GateId>> consumers(nl.size());
+  std::vector<GateId> ready;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (!is_comb(gate.kind)) {
+      if (gate.kind == GateKind::kDff) {
+        arrival[g] = synth::gate_delay(GateKind::kDff) * scale;
+      }
+      if (gate.kind != GateKind::kPo) ready.push_back(g);
+      continue;
+    }
+    for (int i = 0; i < gate_arity(gate.kind); ++i) {
+      const GateId p = gate.in[static_cast<std::size_t>(i)];
+      if (is_comb(nl.kind(p))) {
+        ++pending[g];
+        consumers[p].push_back(g);
+      }
+    }
+    if (pending[g] == 0) ready.push_back(g);
+  }
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const GateId g = ready[head++];
+    if (is_comb(nl.kind(g))) {
+      const Gate& gate = nl.gate(g);
+      double at = 0.0;
+      for (int i = 0; i < gate_arity(gate.kind); ++i) {
+        at = std::max(at, arrival[gate.in[static_cast<std::size_t>(i)]]);
+      }
+      arrival[g] = at + synth::gate_delay(gate.kind) * scale;
+    }
+    for (GateId c : consumers[g]) {
+      if (--pending[c] == 0) ready.push_back(c);
+    }
+  }
+
+  // Collect endpoints with slack.
+  struct Endpoint {
+    GateId driver;
+    double slack;
+    bool is_reg;
+  };
+  std::vector<Endpoint> endpoints;
+  const double period = options.clock_period_ns;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kDff) {
+      endpoints.push_back({gate.in[0],
+                           period - synth::kDffSetup * scale -
+                               arrival[gate.in[0]],
+                           true});
+    } else if (gate.kind == GateKind::kPo) {
+      endpoints.push_back({gate.in[0], period - arrival[gate.in[0]], false});
+    }
+  }
+  std::sort(endpoints.begin(), endpoints.end(),
+            [](const Endpoint& a, const Endpoint& b) {
+              return a.slack < b.slack;
+            });
+  if (endpoints.size() > k) endpoints.resize(k);
+
+  // Trace each endpoint back along the max-arrival fan-in.
+  std::vector<TimingPath> paths;
+  for (const auto& ep : endpoints) {
+    TimingPath path;
+    path.slack_ns = ep.slack;
+    path.ends_at_register = ep.is_reg;
+    GateId cur = ep.driver;
+    while (cur != kNoGate) {
+      path.nodes.push_back({cur, nl.kind(cur), arrival[cur]});
+      const Gate& gate = nl.gate(cur);
+      if (!is_comb(gate.kind)) break;  // reached a launch point
+      GateId worst = kNoGate;
+      double worst_at = -1.0;
+      for (int i = 0; i < gate_arity(gate.kind); ++i) {
+        const GateId p = gate.in[static_cast<std::size_t>(i)];
+        if (arrival[p] > worst_at) {
+          worst_at = arrival[p];
+          worst = p;
+        }
+      }
+      cur = worst;
+    }
+    std::reverse(path.nodes.begin(), path.nodes.end());
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::string render_path(const TimingPath& path) {
+  std::ostringstream os;
+  os << "slack " << path.slack_ns << " ns, endpoint "
+     << (path.ends_at_register ? "register" : "output") << ", "
+     << path.nodes.size() << " stages:\n";
+  for (const auto& node : path.nodes) {
+    os << "  g" << node.gate << " " << kind_name(node.kind) << " @ "
+       << node.arrival_ns << " ns\n";
+  }
+  return os.str();
+}
+
+}  // namespace syn::sta

@@ -1,0 +1,33 @@
+// Critical-path extraction: per-endpoint worst path tracing, the
+// report_timing analog of the STA substrate. Used by examples and by the
+// Fig 5 analysis to show *where* the slack is lost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace syn::sta {
+
+struct PathNode {
+  synth::GateId gate = synth::kNoGate;
+  synth::GateKind kind = synth::GateKind::kConst0;
+  double arrival_ns = 0.0;
+};
+
+struct TimingPath {
+  std::vector<PathNode> nodes;  // launch point first, endpoint driver last
+  double slack_ns = 0.0;
+  bool ends_at_register = false;  // endpoint is a DFF D pin (else a PO)
+};
+
+/// The k worst paths (smallest slack first), one per endpoint.
+std::vector<TimingPath> worst_paths(const synth::Netlist& nl,
+                                    const TimingOptions& options,
+                                    std::size_t k);
+
+/// Human-readable rendering of a path.
+std::string render_path(const TimingPath& path);
+
+}  // namespace syn::sta

@@ -1,0 +1,102 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syn::sta {
+
+using synth::Gate;
+using synth::gate_arity;
+using synth::GateId;
+using synth::GateKind;
+using synth::kNoGate;
+using synth::Netlist;
+
+namespace {
+
+bool is_launch(GateKind k) {
+  return k == GateKind::kConst0 || k == GateKind::kConst1 ||
+         k == GateKind::kInput || k == GateKind::kDff;
+}
+
+bool is_comb(GateKind k) {
+  return k == GateKind::kInv || k == GateKind::kAnd || k == GateKind::kOr ||
+         k == GateKind::kXor || k == GateKind::kMux;
+}
+
+}  // namespace
+
+TimingReport analyze(const Netlist& nl, const TimingOptions& options) {
+  const double scale = options.delay_scale;
+  std::vector<double> arrival(nl.size(), 0.0);
+  std::vector<bool> done(nl.size(), false);
+
+  // Kahn ordering over combinational dependency edges; launch points are
+  // sources. Constants may appear after their consumers (strash artifacts),
+  // so a worklist is used instead of relying on index order.
+  std::vector<std::size_t> pending(nl.size(), 0);
+  std::vector<std::vector<GateId>> consumers(nl.size());
+  std::vector<GateId> ready;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (is_launch(gate.kind)) {
+      arrival[g] = gate.kind == GateKind::kDff
+                       ? synth::gate_delay(GateKind::kDff) * scale
+                       : 0.0;
+      done[g] = true;
+      ready.push_back(g);
+      continue;
+    }
+    if (!is_comb(gate.kind)) continue;  // PO endpoints handled at the end
+    for (int i = 0; i < gate_arity(gate.kind); ++i) {
+      const GateId p = gate.in[static_cast<std::size_t>(i)];
+      if (p == kNoGate) throw std::invalid_argument("sta: dangling pin");
+      if (!is_launch(nl.kind(p))) {
+        ++pending[g];
+        consumers[p].push_back(g);
+      }
+    }
+    if (pending[g] == 0) ready.push_back(g);
+  }
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const GateId g = ready[head++];
+    if (is_comb(nl.kind(g)) && !done[g]) {
+      const Gate& gate = nl.gate(g);
+      double at = 0.0;
+      for (int i = 0; i < gate_arity(gate.kind); ++i) {
+        at = std::max(at, arrival[gate.in[static_cast<std::size_t>(i)]]);
+      }
+      arrival[g] = at + synth::gate_delay(gate.kind) * scale;
+      done[g] = true;
+    }
+    for (GateId c : consumers[g]) {
+      if (--pending[c] == 0) ready.push_back(c);
+    }
+  }
+
+  TimingReport report;
+  auto record = [&](double slack, std::vector<double>& bucket) {
+    bucket.push_back(slack);
+    ++report.endpoints;
+    report.wns = report.endpoints == 1 ? slack : std::min(report.wns, slack);
+    if (slack < 0.0) {
+      report.tns += slack;
+      ++report.violated_endpoints;
+    }
+  };
+  const double period = options.clock_period_ns;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kDff) {
+      const double at = arrival[gate.in[0]];
+      record(period - synth::kDffSetup * scale - at, report.register_slacks);
+    } else if (gate.kind == GateKind::kPo) {
+      record(period - arrival[gate.in[0]], report.output_slacks);
+    }
+  }
+  if (report.endpoints == 0) report.wns = period;
+  return report;
+}
+
+}  // namespace syn::sta

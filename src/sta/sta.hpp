@@ -1,0 +1,46 @@
+// Static timing analysis on optimized gate netlists.
+//
+// Provides the timing labels the paper reads off Design Compiler reports:
+// per-register endpoint slack (RTL-Timer-style), worst negative slack
+// (WNS), total negative slack (TNS) and the violated-endpoint count used
+// for the TNS/NVP statistic of Fig 5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "synth/netlist.hpp"
+
+namespace syn::sta {
+
+struct TimingOptions {
+  double clock_period_ns = 1.0;
+  /// Uniform scale on all cell delays; the PPA labeler varies this to
+  /// emulate different synthesis effort / operating points.
+  double delay_scale = 1.0;
+};
+
+struct TimingReport {
+  double wns = 0.0;  // worst slack over all endpoints (<= 0 means violated)
+  double tns = 0.0;  // sum of negative endpoint slacks (<= 0)
+  std::size_t violated_endpoints = 0;
+  std::size_t endpoints = 0;
+  std::vector<double> register_slacks;  // one entry per DFF endpoint
+  std::vector<double> output_slacks;    // one entry per PO endpoint
+
+  /// TNS divided by the number of violating endpoints (Fig 5b); 0 when
+  /// nothing violates.
+  [[nodiscard]] double tns_per_violation() const {
+    return violated_endpoints == 0
+               ? 0.0
+               : tns / static_cast<double>(violated_endpoints);
+  }
+};
+
+/// Topological arrival-time propagation. Launch points (primary inputs,
+/// flip-flop Q pins, constants) start at clk-to-Q / 0; endpoints are
+/// flip-flop D pins (required = T - setup) and primary outputs
+/// (required = T).
+TimingReport analyze(const synth::Netlist& nl, const TimingOptions& options);
+
+}  // namespace syn::sta

@@ -1,0 +1,223 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "util/histogram.hpp"
+
+namespace syn::stats {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// Sorted undirected neighbor lists (no self-loops, deduplicated).
+std::vector<std::vector<NodeId>> undirected_neighbors(const Graph& g) {
+  std::vector<std::vector<NodeId>> nb(g.num_nodes());
+  for (const auto& [from, to] : g.edges()) {
+    if (from == to) continue;
+    nb[from].push_back(to);
+    nb[to].push_back(from);
+  }
+  for (auto& list : nb) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return nb;
+}
+
+bool adjacent(const std::vector<std::vector<NodeId>>& nb, NodeId a, NodeId b) {
+  const auto& list = nb[a];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+}  // namespace
+
+std::vector<double> out_degree_samples(const Graph& g) {
+  std::vector<double> samples;
+  samples.reserve(g.num_nodes());
+  for (auto d : graph::out_degrees(g)) {
+    samples.push_back(static_cast<double>(d));
+  }
+  return samples;
+}
+
+std::vector<double> clustering_samples(const Graph& g) {
+  const auto nb = undirected_neighbors(g);
+  std::vector<double> samples;
+  samples.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& list = nb[v];
+    const std::size_t k = list.size();
+    if (k < 2) {
+      samples.push_back(0.0);
+      continue;
+    }
+    std::size_t links = 0;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        links += adjacent(nb, list[a], list[b]);
+      }
+    }
+    samples.push_back(2.0 * static_cast<double>(links) /
+                      (static_cast<double>(k) * static_cast<double>(k - 1)));
+  }
+  return samples;
+}
+
+std::vector<double> orbit_samples(const Graph& g) {
+  const auto nb = undirected_neighbors(g);
+  std::vector<double> counts(g.num_nodes(), 0.0);
+  // ESU enumeration of connected induced subgraphs of size 4: each subset
+  // is generated exactly once from its minimum-id root.
+  std::vector<NodeId> subgraph;
+  std::vector<NodeId> extension;
+  // Recursive lambda via explicit function.
+  struct Esu {
+    const std::vector<std::vector<NodeId>>& nb;
+    std::vector<double>& counts;
+    NodeId root;
+
+    void extend(std::vector<NodeId>& sub, std::vector<NodeId> ext) {
+      if (sub.size() == 4) {
+        for (NodeId v : sub) counts[v] += 1.0;
+        return;
+      }
+      while (!ext.empty()) {
+        const NodeId w = ext.back();
+        ext.pop_back();
+        // Extension set for the recursive call: exclusive neighbors of w
+        // greater than root and not adjacent to current subgraph.
+        std::vector<NodeId> next_ext = ext;
+        for (NodeId u : nb[w]) {
+          if (u <= root) continue;
+          bool in_or_adjacent = false;
+          for (NodeId s : sub) {
+            if (u == s || std::binary_search(nb[s].begin(), nb[s].end(), u)) {
+              in_or_adjacent = true;
+              break;
+            }
+          }
+          if (!in_or_adjacent && u != w) next_ext.push_back(u);
+        }
+        sub.push_back(w);
+        extend(sub, std::move(next_ext));
+        sub.pop_back();
+      }
+    }
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<NodeId> ext;
+    for (NodeId u : nb[v]) {
+      if (u > v) ext.push_back(u);
+    }
+    std::vector<NodeId> sub{v};
+    Esu esu{nb, counts, v};
+    esu.extend(sub, std::move(ext));
+  }
+  return counts;
+}
+
+double triangle_count(const Graph& g) {
+  const auto nb = undirected_neighbors(g);
+  double triangles = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : nb[v]) {
+      if (u <= v) continue;
+      for (NodeId w : nb[u]) {
+        if (w <= u) continue;
+        triangles += adjacent(nb, v, w);
+      }
+    }
+  }
+  return triangles;
+}
+
+double homophily(const Graph& g, bool two_hop) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  // Neighbor sets: one-hop undirected, or exact two-hop (excluding self
+  // and one-hop neighbors).
+  const auto nb1 = undirected_neighbors(g);
+  std::vector<std::vector<NodeId>> nb;
+  if (!two_hop) {
+    nb = nb1;
+  } else {
+    nb.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<NodeId> two;
+      for (NodeId u : nb1[v]) {
+        for (NodeId w : nb1[u]) {
+          if (w != v) two.push_back(w);
+        }
+      }
+      std::sort(two.begin(), two.end());
+      two.erase(std::unique(two.begin(), two.end()), two.end());
+      nb[v] = std::move(two);
+    }
+  }
+  // Class-insensitive homophily (Lim et al.): average over classes of
+  // max(0, intra-class edge fraction - class prevalence).
+  std::vector<std::size_t> class_size(graph::kNumNodeTypes, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++class_size[static_cast<std::size_t>(g.type(v))];
+  }
+  double h = 0.0;
+  std::size_t classes_present = 0;
+  for (int k = 0; k < graph::kNumNodeTypes; ++k) {
+    if (class_size[static_cast<std::size_t>(k)] == 0) continue;
+    ++classes_present;
+    double intra = 0.0, total = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (static_cast<int>(g.type(v)) != k) continue;
+      for (NodeId u : nb[v]) {
+        total += 1.0;
+        intra += static_cast<int>(g.type(u)) == k;
+      }
+    }
+    if (total > 0.0) {
+      const double prevalence = static_cast<double>(class_size[static_cast<std::size_t>(k)]) /
+                                static_cast<double>(n);
+      h += std::max(0.0, intra / total - prevalence);
+    }
+  }
+  return classes_present > 1 ? h / static_cast<double>(classes_present - 1)
+                             : 0.0;
+}
+
+StructuralComparison compare_structure(
+    const Graph& real, const std::vector<Graph>& generated) {
+  StructuralComparison cmp;
+  const auto real_deg = out_degree_samples(real);
+  const auto real_clu = clustering_samples(real);
+  const auto real_orb = orbit_samples(real);
+  const double real_tri = std::max(triangle_count(real), 1e-9);
+  const double real_h1 = std::max(homophily(real, false), 1e-9);
+  const double real_h2 = std::max(homophily(real, true), 1e-9);
+
+  std::vector<double> gen_deg, gen_clu, gen_orb;
+  double tri_ratio = 0.0, h1_ratio = 0.0, h2_ratio = 0.0;
+  for (const auto& g : generated) {
+    const auto d = out_degree_samples(g);
+    const auto c = clustering_samples(g);
+    const auto o = orbit_samples(g);
+    gen_deg.insert(gen_deg.end(), d.begin(), d.end());
+    gen_clu.insert(gen_clu.end(), c.begin(), c.end());
+    gen_orb.insert(gen_orb.end(), o.begin(), o.end());
+    tri_ratio += triangle_count(g) / real_tri;
+    h1_ratio += homophily(g, false) / real_h1;
+    h2_ratio += homophily(g, true) / real_h2;
+  }
+  const double m = std::max<std::size_t>(generated.size(), 1);
+  cmp.w1_out_degree = util::wasserstein1(real_deg, gen_deg);
+  cmp.w1_cluster = util::wasserstein1(real_clu, gen_clu);
+  cmp.w1_orbit = util::wasserstein1(real_orb, gen_orb);
+  cmp.ratio_triangle = tri_ratio / m;
+  cmp.ratio_h1 = h1_ratio / m;
+  cmp.ratio_h2 = h2_ratio / m;
+  return cmp;
+}
+
+}  // namespace syn::stats

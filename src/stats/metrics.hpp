@@ -1,0 +1,48 @@
+// Graph structural statistics for the similarity evaluation of Table II.
+//
+// Follows the GraphRNN / GraphMaker evaluation protocol the paper adopts:
+// 1-Wasserstein distances between per-node statistic distributions
+// (out-degree, clustering coefficient, 4-node orbit participation) and
+// ratio-to-one scalar statistics (triangle count, attribute homophily
+// ĥ(A,Y) and its two-hop variant ĥ(A²,Y)).
+#pragma once
+
+#include <vector>
+
+#include "graph/dcg.hpp"
+
+namespace syn::stats {
+
+/// Per-node out-degree (number of fan-in slots driven).
+std::vector<double> out_degree_samples(const graph::Graph& g);
+
+/// Per-node local clustering coefficient of the underlying undirected
+/// graph (0 for nodes of undirected degree < 2).
+std::vector<double> clustering_samples(const graph::Graph& g);
+
+/// Per-node participation count in connected induced 4-node subgraphs of
+/// the underlying undirected graph (exact ESU enumeration; the orbit
+/// distribution of the GraphRNN protocol, pooled over orbit roles).
+std::vector<double> orbit_samples(const graph::Graph& g);
+
+/// Triangle count of the underlying undirected graph.
+double triangle_count(const graph::Graph& g);
+
+/// Class-insensitive edge homophily ĥ(A, Y) of Lim et al. with node types
+/// as labels; `two_hop` computes ĥ(A², Y) on the squared adjacency.
+double homophily(const graph::Graph& g, bool two_hop);
+
+/// Table II row: similarity of a set of generated graphs to one real one.
+struct StructuralComparison {
+  double w1_out_degree = 0.0;
+  double w1_cluster = 0.0;
+  double w1_orbit = 0.0;
+  double ratio_triangle = 0.0;  // E[M(Ĝ)] / M(G), closer to 1 better
+  double ratio_h1 = 0.0;        // ĥ(A, Y) ratio
+  double ratio_h2 = 0.0;        // ĥ(A², Y) ratio
+};
+
+StructuralComparison compare_structure(
+    const graph::Graph& real, const std::vector<graph::Graph>& generated);
+
+}  // namespace syn::stats

@@ -1,0 +1,47 @@
+#include "stats/scalefree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace syn::stats {
+
+PowerLawFit fit_power_law(const std::vector<double>& degrees, double xmin) {
+  PowerLawFit fit;
+  fit.xmin = xmin;
+  std::vector<double> tail;
+  for (double d : degrees) {
+    if (d >= xmin) tail.push_back(d);
+  }
+  fit.tail_samples = tail.size();
+  if (tail.size() < 3) return fit;
+
+  // Continuous MLE: alpha = 1 + n / sum(ln(x_i / xmin)).
+  double log_sum = 0.0;
+  for (double d : tail) log_sum += std::log(d / xmin);
+  if (log_sum <= 0.0) return fit;
+  fit.alpha = 1.0 + static_cast<double>(tail.size()) / log_sum;
+
+  // KS distance against the fitted CDF F(x) = 1 - (x / xmin)^(1 - alpha).
+  std::sort(tail.begin(), tail.end());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const double empirical =
+        static_cast<double>(i + 1) / static_cast<double>(tail.size());
+    const double model = 1.0 - std::pow(tail[i] / xmin, 1.0 - fit.alpha);
+    ks = std::max(ks, std::abs(empirical - model));
+  }
+  fit.ks_distance = ks;
+  return fit;
+}
+
+PowerLawFit degree_power_law(const graph::Graph& g) {
+  std::vector<double> degrees;
+  for (auto d : graph::out_degrees(g)) {
+    if (d > 0) degrees.push_back(static_cast<double>(d));
+  }
+  return fit_power_law(degrees, 1.0);
+}
+
+}  // namespace syn::stats

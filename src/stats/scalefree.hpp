@@ -1,0 +1,28 @@
+// Scale-free-network statistics (paper §VII-B.1: "digital circuits are
+// indeed scale-free networks"): power-law exponent estimation for degree
+// distributions plus a goodness summary, so generated corpora can be
+// checked for the signature the paper highlights.
+#pragma once
+
+#include <vector>
+
+#include "graph/dcg.hpp"
+
+namespace syn::stats {
+
+struct PowerLawFit {
+  double alpha = 0.0;   // exponent of P(k) ~ k^-alpha
+  double xmin = 1.0;    // smallest degree included in the fit
+  std::size_t tail_samples = 0;
+  /// Kolmogorov-Smirnov distance between the fitted CDF and the data.
+  double ks_distance = 1.0;
+};
+
+/// Continuous-approximation Hill/MLE estimator over degrees >= xmin.
+PowerLawFit fit_power_law(const std::vector<double>& degrees,
+                          double xmin = 1.0);
+
+/// Fits the out-degree distribution of a graph (degree-0 nodes excluded).
+PowerLawFit degree_power_law(const graph::Graph& g);
+
+}  // namespace syn::stats

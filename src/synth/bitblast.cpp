@@ -1,0 +1,257 @@
+#include "synth/bitblast.hpp"
+
+#include <stdexcept>
+
+#include "graph/node_type.hpp"
+
+namespace syn::synth {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::NodeType;
+
+namespace {
+
+/// Per-node output bit vector, LSB first.
+using Bits = std::vector<GateId>;
+
+class Blaster {
+ public:
+  explicit Blaster(const Graph& g) : g_(g), bits_(g.num_nodes()) {}
+
+  Netlist run() {
+    zero_ = nl_.add(GateKind::kConst0);
+    one_ = nl_.add(GateKind::kConst1);
+    // Pass 1: create storage/source bits so cyclic references resolve.
+    for (NodeId n = 0; n < g_.num_nodes(); ++n) {
+      const int w = g_.width(n);
+      switch (g_.type(n)) {
+        case NodeType::kInput: {
+          Bits b(static_cast<std::size_t>(w));
+          for (auto& bit : b) bit = nl_.add(GateKind::kInput);
+          bits_[n] = std::move(b);
+          break;
+        }
+        case NodeType::kConst: {
+          Bits b(static_cast<std::size_t>(w));
+          for (int i = 0; i < w; ++i) {
+            const bool set = i < 32 && ((g_.param(n) >> i) & 1U);
+            b[static_cast<std::size_t>(i)] = set ? one_ : zero_;
+          }
+          bits_[n] = std::move(b);
+          break;
+        }
+        case NodeType::kReg: {
+          Bits b(static_cast<std::size_t>(w));
+          for (auto& bit : b) bit = nl_.add(GateKind::kDff);
+          bits_[n] = std::move(b);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // Pass 2: combinational logic in evaluation order. Because DFF and
+    // source bits already exist, any order that respects combinational
+    // dependencies works; we compute one by DFS.
+    for (NodeId n = 0; n < g_.num_nodes(); ++n) elaborate(n);
+    // Pass 3: connect DFF data pins and primary outputs.
+    for (NodeId n = 0; n < g_.num_nodes(); ++n) {
+      if (g_.type(n) == NodeType::kReg) {
+        const Bits d = resized(g_.fanin(n, 0), g_.width(n));
+        for (int i = 0; i < g_.width(n); ++i) {
+          nl_.gate(bits_[n][static_cast<std::size_t>(i)]).in[0] =
+              d[static_cast<std::size_t>(i)];
+        }
+      } else if (g_.type(n) == NodeType::kOutput) {
+        const Bits d = resized(g_.fanin(n, 0), g_.width(n));
+        for (GateId bit : d) nl_.add(GateKind::kPo, bit);
+      }
+    }
+    return std::move(nl_);
+  }
+
+ private:
+  void elaborate(NodeId n) {
+    if (!bits_[n].empty() || g_.type(n) == NodeType::kOutput) return;
+    if (visiting_[n]) {
+      throw std::invalid_argument("bitblast: combinational loop");
+    }
+    visiting_[n] = true;
+    // Combinational fan-ins must be elaborated first.
+    for (NodeId p : g_.fanins(n)) {
+      if (p == graph::kNoNode) {
+        throw std::invalid_argument("bitblast: unconnected fan-in");
+      }
+      elaborate(p);
+    }
+    bits_[n] = build(n);
+    visiting_[n] = false;
+  }
+
+  Bits build(NodeId n) {
+    const int w = g_.width(n);
+    switch (g_.type(n)) {
+      case NodeType::kNot: {
+        const Bits a = resized(g_.fanin(n, 0), w);
+        Bits r(static_cast<std::size_t>(w));
+        for (int i = 0; i < w; ++i) {
+          r[static_cast<std::size_t>(i)] =
+              nl_.add(GateKind::kInv, a[static_cast<std::size_t>(i)]);
+        }
+        return r;
+      }
+      case NodeType::kAnd:
+      case NodeType::kOr:
+      case NodeType::kXor: {
+        const GateKind k = g_.type(n) == NodeType::kAnd   ? GateKind::kAnd
+                           : g_.type(n) == NodeType::kOr ? GateKind::kOr
+                                                          : GateKind::kXor;
+        const Bits a = resized(g_.fanin(n, 0), w);
+        const Bits b = resized(g_.fanin(n, 1), w);
+        Bits r(static_cast<std::size_t>(w));
+        for (int i = 0; i < w; ++i) {
+          r[static_cast<std::size_t>(i)] =
+              nl_.add(k, a[static_cast<std::size_t>(i)],
+                      b[static_cast<std::size_t>(i)]);
+        }
+        return r;
+      }
+      case NodeType::kAdd:
+        return adder(resized(g_.fanin(n, 0), w), resized(g_.fanin(n, 1), w),
+                     zero_);
+      case NodeType::kSub: {
+        Bits b = resized(g_.fanin(n, 1), w);
+        for (auto& bit : b) bit = nl_.add(GateKind::kInv, bit);
+        return adder(resized(g_.fanin(n, 0), w), b, one_);
+      }
+      case NodeType::kMul:
+        return multiplier(resized(g_.fanin(n, 0), w),
+                          resized(g_.fanin(n, 1), w));
+      case NodeType::kEq: {
+        const int wc = std::max(g_.width(g_.fanin(n, 0)),
+                                g_.width(g_.fanin(n, 1)));
+        const Bits a = resized(g_.fanin(n, 0), wc);
+        const Bits b = resized(g_.fanin(n, 1), wc);
+        GateId acc = kNoGate;
+        for (int i = 0; i < wc; ++i) {
+          const GateId x = nl_.add(GateKind::kXor, a[static_cast<std::size_t>(i)],
+                                   b[static_cast<std::size_t>(i)]);
+          const GateId same = nl_.add(GateKind::kInv, x);
+          acc = acc == kNoGate ? same : nl_.add(GateKind::kAnd, acc, same);
+        }
+        return {acc == kNoGate ? one_ : acc};
+      }
+      case NodeType::kLt: {
+        const int wc = std::max(g_.width(g_.fanin(n, 0)),
+                                g_.width(g_.fanin(n, 1)));
+        const Bits a = resized(g_.fanin(n, 0), wc);
+        const Bits b = resized(g_.fanin(n, 1), wc);
+        GateId lt = zero_;
+        for (int i = 0; i < wc; ++i) {  // LSB to MSB
+          const GateId na = nl_.add(GateKind::kInv,
+                                    a[static_cast<std::size_t>(i)]);
+          const GateId below = nl_.add(GateKind::kAnd, na,
+                                       b[static_cast<std::size_t>(i)]);
+          const GateId x = nl_.add(GateKind::kXor,
+                                   a[static_cast<std::size_t>(i)],
+                                   b[static_cast<std::size_t>(i)]);
+          const GateId eq = nl_.add(GateKind::kInv, x);
+          const GateId carry = nl_.add(GateKind::kAnd, eq, lt);
+          lt = nl_.add(GateKind::kOr, below, carry);
+        }
+        return {lt};
+      }
+      case NodeType::kMux: {
+        const Bits s = bits_of(g_.fanin(n, 0));
+        // Reduction-or of the select ("(|sel)" in the Verilog emission).
+        GateId sel = s[0];
+        for (std::size_t i = 1; i < s.size(); ++i) {
+          sel = nl_.add(GateKind::kOr, sel, s[i]);
+        }
+        const Bits a = resized(g_.fanin(n, 1), w);
+        const Bits b = resized(g_.fanin(n, 2), w);
+        Bits r(static_cast<std::size_t>(w));
+        for (int i = 0; i < w; ++i) {
+          r[static_cast<std::size_t>(i)] =
+              nl_.add(GateKind::kMux, sel, a[static_cast<std::size_t>(i)],
+                      b[static_cast<std::size_t>(i)]);
+        }
+        return r;
+      }
+      case NodeType::kBitSelect: {
+        const Bits a = bits_of(g_.fanin(n, 0));
+        const int lo = static_cast<int>(g_.param(n));
+        Bits r(static_cast<std::size_t>(w), zero_);
+        for (int i = 0; i < w; ++i) {
+          const int src = lo + i;
+          if (src < static_cast<int>(a.size())) {
+            r[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(src)];
+          }
+        }
+        return r;
+      }
+      case NodeType::kConcat: {
+        // Verilog {a, b}: b supplies the LSBs.
+        const Bits hi = bits_of(g_.fanin(n, 0));
+        const Bits lo = bits_of(g_.fanin(n, 1));
+        Bits r;
+        r.reserve(lo.size() + hi.size());
+        r.insert(r.end(), lo.begin(), lo.end());
+        r.insert(r.end(), hi.begin(), hi.end());
+        r.resize(static_cast<std::size_t>(w), zero_);
+        return r;
+      }
+      default:
+        return bits_[n];  // sources/regs created in pass 1
+    }
+  }
+
+  const Bits& bits_of(NodeId n) { return bits_[n]; }
+
+  Bits resized(NodeId n, int w) {
+    Bits r = bits_[n];
+    r.resize(static_cast<std::size_t>(w), zero_);
+    return r;
+  }
+
+  Bits adder(const Bits& a, const Bits& b, GateId carry_in) {
+    Bits sum(a.size());
+    GateId carry = carry_in;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const GateId axb = nl_.add(GateKind::kXor, a[i], b[i]);
+      sum[i] = nl_.add(GateKind::kXor, axb, carry);
+      const GateId and1 = nl_.add(GateKind::kAnd, a[i], b[i]);
+      const GateId and2 = nl_.add(GateKind::kAnd, axb, carry);
+      carry = nl_.add(GateKind::kOr, and1, and2);
+    }
+    return sum;
+  }
+
+  Bits multiplier(const Bits& a, const Bits& b) {
+    const std::size_t w = a.size();
+    Bits acc(w, zero_);
+    for (std::size_t j = 0; j < w; ++j) {
+      // Partial product (a << j) & b[j], truncated to w bits.
+      Bits pp(w, zero_);
+      for (std::size_t i = 0; j + i < w; ++i) {
+        pp[j + i] = nl_.add(GateKind::kAnd, a[i], b[j]);
+      }
+      acc = adder(acc, pp, zero_);
+    }
+    return acc;
+  }
+
+  const Graph& g_;
+  Netlist nl_;
+  std::vector<Bits> bits_;
+  std::vector<bool> visiting_ = std::vector<bool>(g_.num_nodes(), false);
+  GateId zero_ = kNoGate;
+  GateId one_ = kNoGate;
+};
+
+}  // namespace
+
+Netlist bitblast(const Graph& g) { return Blaster(g).run(); }
+
+}  // namespace syn::synth

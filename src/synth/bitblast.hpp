@@ -1,0 +1,18 @@
+// Word-level RTL graph -> bit-level gate netlist elaboration.
+//
+// Arithmetic lowers to ripple-carry structures and array multipliers, so
+// combinational depth grows with operand width exactly as in a real
+// technology mapping — this is what gives the timing distributions of
+// Fig 5 their shape.
+#pragma once
+
+#include "graph/dcg.hpp"
+#include "synth/netlist.hpp"
+
+namespace syn::synth {
+
+/// Elaborates a C1/C2-valid graph into a gate netlist. Throws
+/// std::invalid_argument if fan-ins are incomplete.
+Netlist bitblast(const graph::Graph& g);
+
+}  // namespace syn::synth

@@ -1,0 +1,138 @@
+// Gate-level netlist produced by bit-blasting an RTL graph.
+//
+// This is the substrate that stands in for the commercial synthesis tool
+// the paper uses: bit-level gates, flip-flops and primary IO, on which the
+// optimization passes (constant propagation, structural hashing,
+// observability sweep) and the timing engine operate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace syn::synth {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xffffffffU;
+
+enum class GateKind : std::uint8_t {
+  kConst0 = 0,
+  kConst1,
+  kInput,  // primary input bit
+  kInv,    // 1 fan-in
+  kAnd,    // 2 fan-ins
+  kOr,     // 2
+  kXor,    // 2
+  kMux,    // 3: sel, then, else
+  kDff,    // 1: D (Q is the gate output)
+  kPo,     // 1: primary output bit
+};
+
+inline constexpr int kNumGateKinds = 10;
+
+constexpr int gate_arity(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+      return 0;
+    case GateKind::kInv:
+    case GateKind::kDff:
+    case GateKind::kPo:
+      return 1;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+      return 2;
+    case GateKind::kMux:
+      return 3;
+  }
+  return 0;
+}
+
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  std::array<GateId, 3> in{kNoGate, kNoGate, kNoGate};
+};
+
+class Netlist {
+ public:
+  GateId add(GateKind kind, GateId a = kNoGate, GateId b = kNoGate,
+             GateId c = kNoGate) {
+    gates_.push_back({kind, {a, b, c}});
+    return static_cast<GateId>(gates_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(GateId id) const { return gates_[id]; }
+  Gate& gate(GateId id) { return gates_[id]; }
+  [[nodiscard]] GateKind kind(GateId id) const { return gates_[id].kind; }
+
+  [[nodiscard]] std::size_t count(GateKind k) const {
+    std::size_t n = 0;
+    for (const auto& g : gates_) n += g.kind == k;
+    return n;
+  }
+  [[nodiscard]] std::size_t num_dffs() const { return count(GateKind::kDff); }
+  [[nodiscard]] std::size_t num_pos() const { return count(GateKind::kPo); }
+
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+
+ private:
+  std::vector<Gate> gates_;
+};
+
+// --- cell library (NanGate 45nm-like characterization) ----------------------
+
+/// Cell area in um^2; values approximate the NanGate 45nm open cell library
+/// the paper uses for labeling.
+constexpr double gate_area(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+    case GateKind::kPo:
+      return 0.0;
+    case GateKind::kInv:
+      return 0.53;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+      return 1.06;
+    case GateKind::kXor:
+      return 1.60;
+    case GateKind::kMux:
+      return 1.86;
+    case GateKind::kDff:
+      return 4.52;
+  }
+  return 0.0;
+}
+
+/// Propagation delay in ns (input-to-output for combinational cells,
+/// clk-to-Q for flip-flops).
+constexpr double gate_delay(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+    case GateKind::kPo:
+      return 0.0;
+    case GateKind::kInv:
+      return 0.018;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+      return 0.035;
+    case GateKind::kXor:
+      return 0.055;
+    case GateKind::kMux:
+      return 0.065;
+    case GateKind::kDff:
+      return 0.090;  // clk-to-Q
+  }
+  return 0.0;
+}
+
+/// Flip-flop setup time in ns.
+inline constexpr double kDffSetup = 0.040;
+
+}  // namespace syn::synth

@@ -1,0 +1,297 @@
+#include "synth/passes.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace syn::synth {
+
+namespace {
+
+struct Key {
+  GateKind kind;
+  GateId a, b, c;
+  bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::size_t h = static_cast<std::size_t>(k.kind);
+    h = h * 0x9e3779b97f4a7c15ULL + k.a;
+    h = h * 0x9e3779b97f4a7c15ULL + k.b;
+    h = h * 0x9e3779b97f4a7c15ULL + k.c;
+    return h;
+  }
+};
+
+class Rewriter {
+ public:
+  explicit Rewriter(Netlist nl) : nl_(std::move(nl)), rep_(nl_.size()) {
+    for (GateId i = 0; i < rep_.size(); ++i) rep_[i] = i;
+  }
+
+  /// One simplify + strash round; returns true if anything changed.
+  bool round() {
+    changed_ = false;
+    strash_.clear();
+    for (GateId g = 0; g < nl_.size(); ++g) simplify(g);
+    // Flip-flop constant/self-loop removal (needs resolved D pins, which
+    // may reference later gates, hence a second sweep).
+    for (GateId g = 0; g < nl_.size(); ++g) {
+      if (nl_.kind(g) != GateKind::kDff || rep_[g] != g) continue;
+      const GateId d = find(nl_.gate(g).in[0]);
+      if (is_const(d)) {
+        set_rep(g, d);
+      } else if (d == g) {
+        // Holds its (undefined) initial value forever; synthesis removes it.
+        set_rep(g, const0());
+      }
+    }
+    if (changed_) rebuild();
+    return changed_;
+  }
+
+  Netlist take() { return std::move(nl_); }
+
+ private:
+  GateId find(GateId g) {
+    while (rep_[g] != g) {
+      rep_[g] = rep_[rep_[g]];
+      g = rep_[g];
+    }
+    return g;
+  }
+  void set_rep(GateId g, GateId to) {
+    if (find(g) != find(to)) {
+      rep_[find(g)] = find(to);
+      changed_ = true;
+    }
+  }
+
+  [[nodiscard]] bool is_const(GateId g) const {
+    return nl_.kind(g) == GateKind::kConst0 || nl_.kind(g) == GateKind::kConst1;
+  }
+  [[nodiscard]] bool is0(GateId g) const {
+    return nl_.kind(g) == GateKind::kConst0;
+  }
+  [[nodiscard]] bool is1(GateId g) const {
+    return nl_.kind(g) == GateKind::kConst1;
+  }
+  GateId const0() {
+    if (c0_ == kNoGate) {
+      c0_ = nl_.add(GateKind::kConst0);
+      rep_.push_back(c0_);
+    }
+    return c0_;
+  }
+  GateId const1() {
+    if (c1_ == kNoGate) {
+      c1_ = nl_.add(GateKind::kConst1);
+      rep_.push_back(c1_);
+    }
+    return c1_;
+  }
+  /// find(x) if x is an inverter, else kNoGate.
+  GateId inv_of(GateId g) {
+    return nl_.kind(g) == GateKind::kInv ? find(nl_.gate(g).in[0]) : kNoGate;
+  }
+
+  void simplify(GateId g) {
+    if (rep_[g] != g) return;
+    Gate& gate = nl_.gate(g);
+    switch (gate.kind) {
+      case GateKind::kInv: {
+        const GateId a = find(gate.in[0]);
+        if (is0(a)) return set_rep(g, const1());
+        if (is1(a)) return set_rep(g, const0());
+        if (const GateId aa = inv_of(a); aa != kNoGate) return set_rep(g, aa);
+        gate.in[0] = a;
+        break;
+      }
+      case GateKind::kAnd: {
+        const GateId a = find(gate.in[0]);
+        const GateId b = find(gate.in[1]);
+        if (is0(a) || is0(b)) return set_rep(g, const0());
+        if (is1(a)) return set_rep(g, b);
+        if (is1(b)) return set_rep(g, a);
+        if (a == b) return set_rep(g, a);
+        if (inv_of(a) == b || inv_of(b) == a) return set_rep(g, const0());
+        gate.in[0] = std::min(a, b);
+        gate.in[1] = std::max(a, b);
+        break;
+      }
+      case GateKind::kOr: {
+        const GateId a = find(gate.in[0]);
+        const GateId b = find(gate.in[1]);
+        if (is1(a) || is1(b)) return set_rep(g, const1());
+        if (is0(a)) return set_rep(g, b);
+        if (is0(b)) return set_rep(g, a);
+        if (a == b) return set_rep(g, a);
+        if (inv_of(a) == b || inv_of(b) == a) return set_rep(g, const1());
+        gate.in[0] = std::min(a, b);
+        gate.in[1] = std::max(a, b);
+        break;
+      }
+      case GateKind::kXor: {
+        const GateId a = find(gate.in[0]);
+        const GateId b = find(gate.in[1]);
+        if (a == b) return set_rep(g, const0());
+        if (is0(a)) return set_rep(g, b);
+        if (is0(b)) return set_rep(g, a);
+        if (is1(a)) {  // xor(1, b) == ~b
+          gate.kind = GateKind::kInv;
+          gate.in = {b, kNoGate, kNoGate};
+          changed_ = true;
+          return simplify(g);
+        }
+        if (is1(b)) {
+          gate.kind = GateKind::kInv;
+          gate.in = {a, kNoGate, kNoGate};
+          changed_ = true;
+          return simplify(g);
+        }
+        if (inv_of(a) == b || inv_of(b) == a) return set_rep(g, const1());
+        gate.in[0] = std::min(a, b);
+        gate.in[1] = std::max(a, b);
+        break;
+      }
+      case GateKind::kMux: {
+        const GateId s = find(gate.in[0]);
+        const GateId a = find(gate.in[1]);
+        const GateId b = find(gate.in[2]);
+        if (is1(s)) return set_rep(g, a);
+        if (is0(s)) return set_rep(g, b);
+        if (a == b) return set_rep(g, a);
+        if (is1(a) && is0(b)) return set_rep(g, s);
+        if (is0(a) && is1(b)) {
+          gate.kind = GateKind::kInv;
+          gate.in = {s, kNoGate, kNoGate};
+          changed_ = true;
+          return simplify(g);
+        }
+        if (is0(b)) {  // mux(s, a, 0) == s & a
+          gate.kind = GateKind::kAnd;
+          gate.in = {s, a, kNoGate};
+          changed_ = true;
+          return simplify(g);
+        }
+        if (is1(a)) {  // mux(s, 1, b) == s | b
+          gate.kind = GateKind::kOr;
+          gate.in = {s, b, kNoGate};
+          changed_ = true;
+          return simplify(g);
+        }
+        gate.in = {s, a, b};
+        break;
+      }
+      case GateKind::kPo:
+      case GateKind::kDff:
+        gate.in[0] = find(gate.in[0]);
+        return;  // never merged structurally
+      default:
+        return;
+    }
+    // Structural hashing for combinational survivors.
+    const Key key{gate.kind, gate.in[0], gate.in[1], gate.in[2]};
+    auto [it, inserted] = strash_.emplace(key, g);
+    if (!inserted) set_rep(g, it->second);
+  }
+
+  void rebuild() {
+    // Compact: keep representative gates only; remap ids (two passes so the
+    // forward references of DFF data pins survive).
+    std::vector<GateId> new_id(nl_.size(), kNoGate);
+    Netlist out;
+    for (GateId g = 0; g < nl_.size(); ++g) {
+      if (find(g) == g) new_id[g] = out.add(nl_.kind(g));
+    }
+    for (GateId g = 0; g < nl_.size(); ++g) {
+      if (new_id[g] == kNoGate) continue;
+      Gate& dst = out.gate(new_id[g]);
+      const Gate& src = nl_.gate(g);
+      for (int i = 0; i < gate_arity(src.kind); ++i) {
+        dst.in[static_cast<std::size_t>(i)] =
+            new_id[find(src.in[static_cast<std::size_t>(i)])];
+      }
+    }
+    nl_ = std::move(out);
+    rep_.assign(nl_.size(), 0);
+    for (GateId i = 0; i < rep_.size(); ++i) rep_[i] = i;
+    c0_ = c1_ = kNoGate;
+  }
+
+  Netlist nl_;
+  std::vector<GateId> rep_;
+  std::unordered_map<Key, GateId, KeyHash> strash_;
+  GateId c0_ = kNoGate, c1_ = kNoGate;
+  bool changed_ = false;
+};
+
+/// Deletes every gate that cannot reach a primary output.
+Netlist sweep_unobservable(const Netlist& nl) {
+  std::vector<bool> live(nl.size(), false);
+  std::vector<GateId> work;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.kind(g) == GateKind::kPo) {
+      live[g] = true;
+      work.push_back(g);
+    }
+  }
+  while (!work.empty()) {
+    const GateId g = work.back();
+    work.pop_back();
+    const Gate& gate = nl.gate(g);
+    for (int i = 0; i < gate_arity(gate.kind); ++i) {
+      const GateId p = gate.in[static_cast<std::size_t>(i)];
+      if (p != kNoGate && !live[p]) {
+        live[p] = true;
+        work.push_back(p);
+      }
+    }
+  }
+  std::vector<GateId> new_id(nl.size(), kNoGate);
+  Netlist out;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (live[g]) new_id[g] = out.add(nl.kind(g));
+  }
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (!live[g]) continue;
+    Gate& dst = out.gate(new_id[g]);
+    const Gate& src = nl.gate(g);
+    for (int i = 0; i < gate_arity(src.kind); ++i) {
+      dst.in[static_cast<std::size_t>(i)] =
+          new_id[src.in[static_cast<std::size_t>(i)]];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const Netlist& input, std::size_t max_rounds) {
+  OptimizeResult result;
+  Rewriter rw(input);
+  std::size_t rounds = 0;
+  while (rounds < max_rounds && rw.round()) ++rounds;
+  result.netlist = sweep_unobservable(rw.take());
+  result.iterations = rounds;
+  return result;
+}
+
+double total_area(const Netlist& nl) {
+  double area = 0.0;
+  for (const auto& g : nl.gates()) area += gate_area(g.kind);
+  return area;
+}
+
+std::size_t comb_cells(const Netlist& nl) {
+  std::size_t n = 0;
+  for (const auto& g : nl.gates()) {
+    const GateKind k = g.kind;
+    n += k == GateKind::kInv || k == GateKind::kAnd || k == GateKind::kOr ||
+         k == GateKind::kXor || k == GateKind::kMux;
+  }
+  return n;
+}
+
+}  // namespace syn::synth

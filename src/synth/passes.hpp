@@ -1,0 +1,33 @@
+// Netlist optimization passes.
+//
+// These passes implement the redundancy-removal behaviour of the
+// commercial synthesis flow the paper measures against: constant
+// propagation (including through flip-flops without reset), local boolean
+// identities, structural hashing, and an observability sweep that deletes
+// logic unreachable from any primary output. The sequential-cell count of
+// the swept netlist is the numerator of SCPR (paper §VI).
+#pragma once
+
+#include "synth/netlist.hpp"
+
+namespace syn::synth {
+
+/// Result of optimize(): the compacted netlist plus bookkeeping.
+struct OptimizeResult {
+  Netlist netlist;
+  std::size_t iterations = 0;  // rewrite rounds until fixpoint
+};
+
+/// Runs constant propagation + identity rewriting + structural hashing to
+/// a fixpoint, then sweeps unobservable logic. Flip-flops whose D input is
+/// a constant, or that only feed back to themselves, are replaced by
+/// constants (matching register optimization in synthesis tools).
+OptimizeResult optimize(const Netlist& input, std::size_t max_rounds = 16);
+
+/// Total cell area of the netlist (um^2).
+double total_area(const Netlist& nl);
+
+/// Combinational cell count (everything but DFF / IO / constants).
+std::size_t comb_cells(const Netlist& nl);
+
+}  // namespace syn::synth

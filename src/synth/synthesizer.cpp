@@ -1,0 +1,27 @@
+#include "synth/synthesizer.hpp"
+
+#include "synth/bitblast.hpp"
+#include "synth/passes.hpp"
+
+namespace syn::synth {
+
+SynthesisResult synthesize(const graph::Graph& g) {
+  SynthesisResult result;
+  result.stats.pre_nodes = g.num_nodes();
+  result.stats.pre_reg_bits = g.register_bits();
+  Netlist raw = bitblast(g);
+  result.stats.gates_elaborated = raw.size();
+  OptimizeResult opt = optimize(raw);
+  result.stats.gates_final = opt.netlist.size();
+  result.stats.seq_cells = opt.netlist.num_dffs();
+  result.stats.comb_cells = comb_cells(opt.netlist);
+  result.stats.area = total_area(opt.netlist);
+  result.netlist = std::move(opt.netlist);
+  return result;
+}
+
+SynthStats synthesize_stats(const graph::Graph& g) {
+  return synthesize(g).stats;
+}
+
+}  // namespace syn::synth

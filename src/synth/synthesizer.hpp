@@ -1,0 +1,50 @@
+// End-to-end synthesis driver: bit-blast + optimize + report.
+//
+// Produces the quantities the paper derives from Design Compiler runs:
+// gate counts (Table I), surviving sequential cells (SCPR, Fig 4),
+// post-synthesis circuit size PCS (the MCTS reward, §VI) and the optimized
+// netlist the timing engine consumes (Fig 5, Table III labels).
+#pragma once
+
+#include "graph/dcg.hpp"
+#include "synth/netlist.hpp"
+
+namespace syn::synth {
+
+struct SynthStats {
+  std::size_t pre_nodes = 0;      // RTL graph nodes before synthesis
+  std::size_t pre_reg_bits = 0;   // total bits in sequential signals
+  std::size_t gates_elaborated = 0;  // netlist size after bit-blasting
+  std::size_t gates_final = 0;       // after optimization + sweep
+  std::size_t seq_cells = 0;         // flip-flops surviving synthesis
+  std::size_t comb_cells = 0;
+  double area = 0.0;  // um^2
+
+  /// Sequential cell preservation ratio (paper §VI): surviving flip-flops
+  /// over pre-synthesis register bits. 0 when the design has no registers.
+  [[nodiscard]] double scpr() const {
+    return pre_reg_bits == 0
+               ? 0.0
+               : static_cast<double>(seq_cells) /
+                     static_cast<double>(pre_reg_bits);
+  }
+  /// Post-synthesis circuit size (paper §VI-B): area per pre-synthesis
+  /// node; the MCTS reward. Larger = less redundancy optimized away.
+  [[nodiscard]] double pcs() const {
+    return pre_nodes == 0 ? 0.0 : area / static_cast<double>(pre_nodes);
+  }
+};
+
+struct SynthesisResult {
+  SynthStats stats;
+  Netlist netlist;  // optimized netlist (inputs of the timing engine)
+};
+
+/// Full flow on a valid graph. Throws std::invalid_argument when fan-ins
+/// are incomplete (run Phase 2 first).
+SynthesisResult synthesize(const graph::Graph& g);
+
+/// Stats-only convenience.
+SynthStats synthesize_stats(const graph::Graph& g);
+
+}  // namespace syn::synth

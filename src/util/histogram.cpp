@@ -1,0 +1,108 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace syn::util {
+
+namespace {
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(var / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = percentile(sorted, 0.25);
+  s.median = percentile(sorted, 0.5);
+  s.p75 = percentile(sorted, 0.75);
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+}
+
+void Histogram::add(double value) {
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  [%8.3f, %8.3f) ", bin_lo(b), bin_hi(b));
+    out += buf;
+    const auto width = counts_[b] * max_bar_width / peak;
+    out += std::string(width, '#');
+    out += " " + std::to_string(counts_[b]) + "\n";
+  }
+  return out;
+}
+
+double wasserstein1(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::vector<double> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  // Integrate |F_a^{-1}(q) - F_b^{-1}(q)| over q in [0,1) on the merged
+  // quantile grid so unequal sample sizes are handled exactly.
+  const std::size_t n = sa.size() * sb.size();
+  double dist = 0.0;
+  // Step through the common refinement of the two quantile partitions.
+  std::size_t ia = 0, ib = 0;
+  double q = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double qa = static_cast<double>(ia + 1) / static_cast<double>(sa.size());
+    const double qb = static_cast<double>(ib + 1) / static_cast<double>(sb.size());
+    const double qn = std::min(qa, qb);
+    dist += (qn - q) * std::abs(sa[ia] - sb[ib]);
+    q = qn;
+    if (qa <= qn) ++ia;
+    if (qb <= qn) ++ib;
+  }
+  (void)n;
+  return dist;
+}
+
+}  // namespace syn::util

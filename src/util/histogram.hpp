@@ -1,0 +1,55 @@
+// Histogram / summary-statistics helpers shared by the statistics suite
+// (Table II) and the distribution figures (Fig 4b, Fig 5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace syn::util {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Fixed-bin histogram over [lo, hi]; values outside are clamped into the
+/// first / last bin so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// ASCII bar rendering used by the figure benches.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact 1-Wasserstein distance between two empirical 1-D distributions
+/// (average absolute difference of matched order statistics; the standard
+/// metric reported by GraphRNN-style evaluations).
+double wasserstein1(std::span<const double> a, std::span<const double> b);
+
+}  // namespace syn::util

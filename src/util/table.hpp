@@ -1,0 +1,45 @@
+// Plain-text table printing for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints it as an aligned ASCII table; this helper keeps the formatting
+// logic in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace syn::util {
+
+/// Column-aligned ASCII table. Cells are strings; use the fmt helpers for
+/// numbers so precision is consistent across benches.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; it is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+/// Fixed-precision float formatting ("0.236").
+std::string fmt_fixed(double value, int digits = 3);
+
+/// Compact significant-digit formatting ("0.236", "1.34", "12.3").
+std::string fmt_sig(double value, int digits = 3);
+
+/// Percentage formatting ("27%").
+std::string fmt_pct(double fraction, int digits = 0);
+
+}  // namespace syn::util

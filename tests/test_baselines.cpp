@@ -1,0 +1,193 @@
+// Tests for the four baseline generators and their shared machinery.
+#include <gtest/gtest.h>
+
+#include "baselines/dvae.hpp"
+#include "baselines/graphmaker.hpp"
+#include "baselines/graphrnn.hpp"
+#include "baselines/gravity.hpp"
+#include "baselines/ordering.hpp"
+#include "baselines/sparsedigress.hpp"
+#include "baselines/window_common.hpp"
+#include "core/generator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/validity.hpp"
+#include "rtl/generators.hpp"
+
+namespace syn::baselines {
+namespace {
+
+using graph::Graph;
+using graph::NodeAttrs;
+using graph::NodeType;
+
+std::vector<Graph> tiny_corpus() {
+  return {rtl::make_counter(6), rtl::make_fifo_ctrl(3), rtl::make_fsm(2, 2),
+          rtl::make_shift_register(4, 4)};
+}
+
+TEST(Ordering, TrainingOrderRespectsCombEdges) {
+  const Graph g = rtl::make_fifo_ctrl(4);
+  const auto order = dag_training_order(g);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  std::vector<std::size_t> pos(g.num_nodes());
+  for (std::size_t k = 0; k < order.size(); ++k) pos[order[k]] = k;
+  for (const auto& [from, to] : g.edges()) {
+    if (!graph::is_sequential(g.type(to)) &&
+        !graph::is_sequential(g.type(from))) {
+      EXPECT_LT(pos[from], pos[to]);
+    }
+  }
+}
+
+TEST(Ordering, GenerationOrderPutsSourcesFirstOutputsLast) {
+  NodeAttrs attrs;
+  attrs.types = {NodeType::kOutput, NodeType::kAdd, NodeType::kInput,
+                 NodeType::kReg, NodeType::kConst};
+  attrs.widths = {4, 4, 4, 4, 4};
+  const auto perm = generation_order(attrs);
+  const auto ordered = permute_attrs(attrs, perm);
+  EXPECT_TRUE(graph::is_source(ordered.types.front()));
+  EXPECT_TRUE(graph::is_sink(ordered.types.back()));
+}
+
+TEST(WindowCommon, SequenceTargetsMatchForwardEdges) {
+  const Graph g = rtl::make_counter(4);
+  const auto seq = build_window_sequence(g, 8);
+  ASSERT_EQ(seq.targets.size(), g.num_nodes());
+  // Every in-window forward edge appears exactly once as a 1-bit.
+  std::size_t bits = 0;
+  for (const auto& row : seq.targets) {
+    for (float b : row) bits += b > 0.5f;
+  }
+  EXPECT_GT(bits, 0u);
+  EXPECT_LE(bits, g.num_edges());
+}
+
+TEST(WindowCommon, UnpermuteRestoresAttributeOrder) {
+  const Graph g = rtl::make_counter(5);
+  const NodeAttrs attrs = graph::attrs_of(g);
+  const auto perm = generation_order(attrs);
+  const NodeAttrs ordered = permute_attrs(attrs, perm);
+  // Build a permuted copy of g? Simpler: permute and unpermute attrs only.
+  const Graph skeleton = graph::skeleton_from_attrs(ordered, "p");
+  const Graph restored = unpermute_graph(skeleton, perm, "r");
+  for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(restored.type(i), attrs.types[i]);
+    EXPECT_EQ(restored.width(i), attrs.widths[i]);
+  }
+}
+
+TEST(Gravity, LearnsEdgeDirectionTendencies) {
+  GravityOrienter orienter;
+  orienter.fit(tiny_corpus());
+  // Constants drive adders (counter increments), never the reverse; and
+  // registers drive output ports, never the reverse.
+  EXPECT_GT(orienter.forward_probability(NodeType::kConst, NodeType::kAdd),
+            0.5);
+  EXPECT_LT(orienter.forward_probability(NodeType::kOutput, NodeType::kReg),
+            0.5);
+}
+
+TEST(Gravity, OrientProducesOneDirectionPerEdge) {
+  GravityOrienter orienter;
+  orienter.fit(tiny_corpus());
+  NodeAttrs attrs;
+  for (int i = 0; i < 10; ++i) {
+    attrs.types.push_back(i % 2 ? NodeType::kAdd : NodeType::kReg);
+    attrs.widths.push_back(4);
+  }
+  graph::AdjacencyMatrix undirected(10);
+  nn::Matrix prob(10, 10);
+  undirected.set(0, 1, true);
+  undirected.set(2, 3, true);
+  undirected.set(4, 7, true);
+  util::Rng rng(31);
+  const auto oriented = orienter.orient(attrs, undirected, prob, rng);
+  EXPECT_EQ(oriented.adjacency.num_edges(), 3u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_FALSE(oriented.adjacency.at(i, j) && oriented.adjacency.at(j, i));
+    }
+  }
+}
+
+/// All four baselines must produce valid circuits after their adaptation
+/// pipelines; the DAG baselines must additionally produce acyclic
+/// combinational-and-sequential structure (the paper's observed
+/// limitation).
+class BaselineTest : public ::testing::Test {
+ protected:
+  static NodeAttrs attrs(std::size_t n, std::uint64_t seed) {
+    core::AttrSampler sampler;
+    sampler.fit(tiny_corpus());
+    util::Rng rng(seed);
+    return sampler.sample(n, rng);
+  }
+};
+
+TEST_F(BaselineTest, GraphRnnGeneratesValidAcyclicCircuits) {
+  GraphRnn model({.window = 8, .hidden = 16, .epochs = 4, .seed = 11});
+  model.fit(tiny_corpus());
+  EXPECT_FALSE(model.epoch_losses().empty());
+  util::Rng rng(1);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g = model.generate(attrs(24, 100 + trial), rng);
+    EXPECT_TRUE(graph::is_valid(g)) << graph::validate(g).to_string();
+    // DAG-only: no strongly connected component with > 1 node.
+    const auto comp = graph::strongly_connected_components(g);
+    std::vector<std::size_t> size(g.num_nodes(), 0);
+    for (auto c : comp) ++size[c];
+    for (auto s : size) EXPECT_LE(s, 1u);
+  }
+}
+
+TEST_F(BaselineTest, DvaeGeneratesValidCircuits) {
+  Dvae model({.window = 8, .hidden = 16, .latent = 4, .epochs = 4, .seed = 12});
+  model.fit(tiny_corpus());
+  util::Rng rng(2);
+  const Graph g = model.generate(attrs(24, 200), rng);
+  EXPECT_TRUE(graph::is_valid(g)) << graph::validate(g).to_string();
+}
+
+TEST_F(BaselineTest, DvaeDifferentLatentsGiveDifferentGraphs) {
+  Dvae model({.window = 8, .hidden = 16, .latent = 4, .epochs = 4, .seed = 13});
+  model.fit(tiny_corpus());
+  util::Rng rng(3);
+  const NodeAttrs a = attrs(24, 300);
+  const Graph g1 = model.generate(a, rng);
+  const Graph g2 = model.generate(a, rng);
+  EXPECT_FALSE(g1 == g2);  // stochastic latent + edge sampling
+}
+
+TEST_F(BaselineTest, GraphMakerGeneratesValidCircuits) {
+  GraphMaker model({.hidden = 16, .epochs = 10, .seed = 14});
+  model.fit(tiny_corpus());
+  util::Rng rng(4);
+  const Graph g = model.generate(attrs(20, 400), rng);
+  EXPECT_TRUE(graph::is_valid(g)) << graph::validate(g).to_string();
+}
+
+TEST_F(BaselineTest, SparseDigressGeneratesValidCircuits) {
+  SparseDigress model(
+      {.steps = 4, .mpnn_layers = 2, .hidden = 16, .epochs = 4, .seed = 15});
+  model.fit(tiny_corpus());
+  util::Rng rng(5);
+  const Graph g = model.generate(attrs(20, 500), rng);
+  EXPECT_TRUE(graph::is_valid(g)) << graph::validate(g).to_string();
+}
+
+TEST_F(BaselineTest, GenerateBeforeFitThrows) {
+  GraphRnn rnn({.epochs = 1});
+  Dvae dvae({.epochs = 1});
+  GraphMaker maker({.epochs = 1});
+  SparseDigress digress({.epochs = 1});
+  util::Rng rng(6);
+  const NodeAttrs a = attrs(10, 600);
+  EXPECT_THROW((void)rnn.generate(a, rng), std::logic_error);
+  EXPECT_THROW((void)dvae.generate(a, rng), std::logic_error);
+  EXPECT_THROW((void)maker.generate(a, rng), std::logic_error);
+  EXPECT_THROW((void)digress.generate(a, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace syn::baselines

@@ -1,0 +1,226 @@
+// Tests for Phase 2 repair, the attribute sampler and the full
+// three-phase SynCircuit pipeline.
+#include <gtest/gtest.h>
+
+#include "core/postprocess.hpp"
+#include "core/syncircuit.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/validity.hpp"
+#include "rtl/generators.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace syn::core {
+namespace {
+
+using graph::AdjacencyMatrix;
+using graph::Graph;
+using graph::NodeAttrs;
+using graph::NodeType;
+
+NodeAttrs mixed_attrs(std::size_t n, util::Rng& rng) {
+  AttrSampler sampler;
+  sampler.fit(rtl::corpus_graphs({.seed = 2}));
+  return sampler.sample(n, rng);
+}
+
+nn::Matrix random_probs(std::size_t n, util::Rng& rng) {
+  nn::Matrix p(n, n);
+  for (auto& v : p.data()) v = static_cast<float>(rng.uniform());
+  return p;
+}
+
+TEST(AttrSampler, GuaranteesStructuralMinimum) {
+  AttrSampler sampler;
+  sampler.fit({rtl::make_counter(4)});
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeAttrs attrs = sampler.sample(8, rng);
+    int in = 0, out = 0, reg = 0;
+    for (auto t : attrs.types) {
+      in += t == NodeType::kInput;
+      out += t == NodeType::kOutput;
+      reg += t == NodeType::kReg;
+    }
+    EXPECT_GE(in, 1);
+    EXPECT_GE(out, 1);
+    EXPECT_GE(reg, 1);
+  }
+}
+
+TEST(AttrSampler, MatchesCorpusTypeDistribution) {
+  const auto corpus = rtl::corpus_graphs({.seed = 2});
+  AttrSampler sampler;
+  sampler.fit(corpus);
+  util::Rng rng(6);
+  const NodeAttrs attrs = sampler.sample(2000, rng);
+  // Register fraction within a few points of the corpus's.
+  std::size_t corpus_regs = 0, corpus_nodes = 0;
+  for (const auto& g : corpus) {
+    corpus_regs += g.nodes_of_type(NodeType::kReg).size();
+    corpus_nodes += g.num_nodes();
+  }
+  std::size_t sampled_regs = 0;
+  for (auto t : attrs.types) sampled_regs += t == NodeType::kReg;
+  const double corpus_frac =
+      static_cast<double>(corpus_regs) / static_cast<double>(corpus_nodes);
+  const double sample_frac = static_cast<double>(sampled_regs) / 2000.0;
+  EXPECT_NEAR(sample_frac, corpus_frac, 0.05);
+}
+
+TEST(Repair, ProducesValidGraphFromEmptyInit) {
+  util::Rng rng(7);
+  const NodeAttrs attrs = mixed_attrs(40, rng);
+  const AdjacencyMatrix empty(attrs.size());
+  const Graph g = repair_to_valid(attrs, empty, random_probs(40, rng), rng);
+  EXPECT_TRUE(graph::is_valid(g)) << graph::validate(g).to_string();
+}
+
+TEST(Repair, ProducesValidGraphFromDenseInit) {
+  util::Rng rng(8);
+  const NodeAttrs attrs = mixed_attrs(30, rng);
+  AdjacencyMatrix dense(attrs.size());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    for (std::size_t j = 0; j < attrs.size(); ++j) {
+      if (i != j) dense.set(i, j, true);
+    }
+  }
+  const Graph g = repair_to_valid(attrs, dense, random_probs(30, rng), rng);
+  EXPECT_TRUE(graph::is_valid(g)) << graph::validate(g).to_string();
+}
+
+TEST(Repair, KeepsValidGiniFaninsVerbatim) {
+  // A graph that is already valid must survive repair unchanged (up to
+  // slot order): every node's G_ini fan-in is legal and complete.
+  const Graph real = rtl::make_counter(6);
+  const NodeAttrs attrs = graph::attrs_of(real);
+  const AdjacencyMatrix adj = graph::to_adjacency(real);
+  // High probability on the true edges so ranking keeps them.
+  nn::Matrix probs(attrs.size(), attrs.size());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    for (std::size_t j = 0; j < attrs.size(); ++j) {
+      probs.at(i, j) = adj.at(i, j) ? 0.9f : 0.1f;
+    }
+  }
+  util::Rng rng(9);
+  RepairStats stats;
+  const Graph repaired = repair_to_valid(attrs, adj, probs, rng, &stats);
+  EXPECT_TRUE(graph::is_valid(repaired));
+  EXPECT_EQ(graph::to_adjacency(repaired), adj);
+  EXPECT_EQ(stats.nodes_repaired, 0u);
+}
+
+TEST(Repair, HighProbabilityEdgesPreferred) {
+  // Node 3 (an adder) must pick the two highest-probability legal parents.
+  NodeAttrs attrs;
+  attrs.types = {NodeType::kInput, NodeType::kInput, NodeType::kInput,
+                 NodeType::kAdd, NodeType::kOutput, NodeType::kReg};
+  attrs.widths = {4, 4, 4, 4, 4, 4};
+  const AdjacencyMatrix empty(attrs.size());
+  nn::Matrix probs(6, 6);
+  probs.at(0, 3) = 0.2f;
+  probs.at(1, 3) = 0.9f;
+  probs.at(2, 3) = 0.8f;
+  util::Rng rng(10);
+  const Graph g = repair_to_valid(attrs, empty, probs, rng);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Repair, NeverCreatesCombLoopEvenWithAdversarialProbs) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeAttrs attrs = mixed_attrs(25, rng);
+    AdjacencyMatrix adversarial(attrs.size());
+    // Fully-connected G_ini plus probabilities that favour back edges.
+    nn::Matrix probs(attrs.size(), attrs.size());
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      for (std::size_t j = 0; j < attrs.size(); ++j) {
+        if (i == j) continue;
+        adversarial.set(i, j, rng.bernoulli(0.5));
+        probs.at(i, j) = i > j ? 0.95f : 0.05f;
+      }
+    }
+    const Graph g = repair_to_valid(attrs, adversarial, probs, rng);
+    EXPECT_FALSE(graph::has_combinational_loop(g));
+    EXPECT_TRUE(g.all_fanins_complete());
+  }
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static SynCircuitConfig fast_config(bool use_diffusion, bool optimize) {
+    SynCircuitConfig cfg;
+    cfg.diffusion.steps = 4;
+    cfg.diffusion.denoiser = {.mpnn_layers = 2, .hidden = 12, .time_dim = 8};
+    cfg.diffusion.epochs = 6;
+    cfg.use_diffusion = use_diffusion;
+    cfg.optimize = optimize;
+    cfg.mcts = {.simulations = 20, .max_depth = 5, .actions_per_state = 6,
+                .max_registers = 3};
+    cfg.seed = 21;
+    return cfg;
+  }
+  static std::vector<Graph> small_corpus() {
+    return {rtl::make_counter(6), rtl::make_fifo_ctrl(3), rtl::make_fsm(2, 2)};
+  }
+};
+
+TEST_F(PipelineTest, FullPipelineProducesValidCircuit) {
+  SynCircuitGenerator gen(fast_config(true, true));
+  gen.fit(small_corpus());
+  util::Rng rng(1);
+  const NodeAttrs attrs = gen.attr_sampler().sample(30, rng);
+  const Graph g = gen.generate(attrs, rng);
+  EXPECT_TRUE(graph::is_valid(g)) << graph::validate(g).to_string();
+  EXPECT_EQ(g.num_nodes(), 30u);
+}
+
+TEST_F(PipelineTest, AblationWithoutDiffusionStillValid) {
+  SynCircuitGenerator gen(fast_config(false, false));
+  gen.fit(small_corpus());
+  util::Rng rng(2);
+  const NodeAttrs attrs = gen.attr_sampler().sample(25, rng);
+  const Graph g = gen.generate(attrs, rng);
+  EXPECT_TRUE(graph::is_valid(g));
+  EXPECT_EQ(gen.name(), "SynCircuit w/o diff w/o opt");
+}
+
+TEST_F(PipelineTest, PhasesExposeIntermediateStages) {
+  SynCircuitGenerator gen(fast_config(true, true));
+  gen.fit(small_corpus());
+  util::Rng rng(3);
+  const NodeAttrs attrs = gen.attr_sampler().sample(24, rng);
+  auto phases = gen.run_phases(attrs, rng);
+  EXPECT_TRUE(graph::is_valid(phases.gval));
+  EXPECT_TRUE(graph::is_valid(phases.gopt));
+  // Phase 3 preserves node count and edge count (swaps only).
+  EXPECT_EQ(phases.gval.num_nodes(), phases.gopt.num_nodes());
+  EXPECT_EQ(phases.gval.num_edges(), phases.gopt.num_edges());
+}
+
+TEST_F(PipelineTest, OptimizationDoesNotReduceScpr) {
+  SynCircuitGenerator gen(fast_config(false, true));
+  gen.fit(small_corpus());
+  util::Rng rng(4);
+  const NodeAttrs attrs = gen.attr_sampler().sample(28, rng);
+  auto phases = gen.run_phases(attrs, rng);
+  const double scpr_val = synth::synthesize_stats(phases.gval).scpr();
+  const double scpr_opt = synth::synthesize_stats(phases.gopt).scpr();
+  // MCTS keeps the best state seen, which includes the initial one.
+  EXPECT_GE(scpr_opt + 1e-9, 0.0);
+  EXPECT_GE(scpr_opt, scpr_val - 0.35);  // never catastrophically worse
+}
+
+TEST_F(PipelineTest, GenerateBeforeFitThrows) {
+  SynCircuitGenerator gen(fast_config(true, true));
+  util::Rng rng(5);
+  NodeAttrs attrs;
+  attrs.types = {NodeType::kInput, NodeType::kOutput, NodeType::kReg,
+                 NodeType::kAdd};
+  attrs.widths = {4, 4, 4, 4};
+  EXPECT_THROW(gen.generate(attrs, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace syn::core

@@ -1,0 +1,186 @@
+// Tests for the discrete diffusion framework: schedule algebra, posterior
+// consistency, denoiser shapes/asymmetry, and end-to-end overfitting on a
+// tiny corpus (the model must learn to reproduce a structure it has seen).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/model.hpp"
+#include "diffusion/schedule.hpp"
+#include "graph/adjacency.hpp"
+#include "rtl/generators.hpp"
+
+namespace syn::diffusion {
+namespace {
+
+TEST(Schedule, AlphaBarMonotoneFromOneToNoise) {
+  const Schedule s(9, 0.05);
+  EXPECT_DOUBLE_EQ(s.alpha_bar(0), 1.0);
+  for (int t = 1; t <= 9; ++t) {
+    EXPECT_LT(s.alpha_bar(t), s.alpha_bar(t - 1));
+    EXPECT_GT(s.alpha(t), 0.0);
+    EXPECT_LE(s.alpha(t), 1.0);
+  }
+  EXPECT_LT(s.alpha_bar(9), 0.05);  // nearly fully corrupted at T
+}
+
+TEST(Schedule, ForwardMarginalInterpolates) {
+  const Schedule s(9, 0.1);
+  // At t=0+ the marginal is near the clean bit, at t=T near the noise.
+  EXPECT_NEAR(s.q_t_given_0(1, true), 1.0, 0.15);
+  EXPECT_NEAR(s.q_t_given_0(9, true), 0.1, 0.1);
+  EXPECT_NEAR(s.q_t_given_0(9, false), 0.1, 0.1);
+}
+
+TEST(Schedule, PosteriorRespectsConfidentPredictions) {
+  const Schedule s(9, 0.05);
+  for (int t = 2; t <= 9; ++t) {
+    // Confident "edge" prediction pulls the posterior up, confident
+    // "no edge" pulls it down, for either observed state.
+    for (const bool at : {false, true}) {
+      EXPECT_GT(s.posterior(t, at, 1.0), s.posterior(t, at, 0.0))
+          << "t=" << t << " at=" << at;
+    }
+  }
+}
+
+TEST(Schedule, PosteriorAtFinalStepRecoversX0) {
+  const Schedule s(9, 0.05);
+  // t=1: A_{t-1} = A_0, so the posterior must track p0_hat closely.
+  EXPECT_GT(s.posterior(1, true, 0.99), 0.9);
+  EXPECT_LT(s.posterior(1, false, 0.01), 0.1);
+}
+
+TEST(Schedule, PosteriorIsValidProbability) {
+  const Schedule s(9, 0.2);
+  for (int t = 1; t <= 9; ++t) {
+    for (double p : {0.0, 0.3, 0.7, 1.0}) {
+      for (const bool at : {false, true}) {
+        const double q = s.posterior(t, at, p);
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Schedule, RejectsBadParameters) {
+  EXPECT_THROW(Schedule(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(Schedule(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(Schedule(5, 1.0), std::invalid_argument);
+}
+
+TEST(Denoiser, ShapesAndDeterminism) {
+  util::Rng rng(3);
+  Denoiser den({.mpnn_layers = 2, .hidden = 16, .time_dim = 8}, rng);
+  const auto g = rtl::make_counter(4);
+  const auto attrs = graph::attrs_of(g);
+  const auto adj = graph::to_adjacency(g);
+  const auto features = Denoiser::node_features(attrs);
+  const auto parents = Denoiser::parent_lists(adj);
+  const auto h1 = den.encode(features, parents, 3);
+  const auto h2 = den.encode(features, parents, 3);
+  EXPECT_EQ(h1.rows(), g.num_nodes());
+  EXPECT_EQ(h1.cols(), 16u);
+  EXPECT_EQ(h1.value().data(), h2.value().data());
+
+  const std::vector<Pair> pairs{{0, 1}, {1, 0}, {2, 3}};
+  const auto logits = den.decode(h1, pairs, {1, 0, 1}, 3);
+  EXPECT_EQ(logits.rows(), 3u);
+  EXPECT_EQ(logits.cols(), 1u);
+}
+
+TEST(Denoiser, AsymmetricDecoderDistinguishesDirection) {
+  util::Rng rng(4);
+  Denoiser den({.mpnn_layers = 2, .hidden = 16, .time_dim = 8}, rng);
+  const auto g = rtl::make_fifo_ctrl(3);
+  const auto h = den.encode(Denoiser::node_features(graph::attrs_of(g)),
+                            Denoiser::parent_lists(graph::to_adjacency(g)), 2);
+  // Score (i, j) and (j, i) for several pairs; the translated-embedding
+  // decoder must not be forced to produce equal values.
+  double diff = 0.0;
+  const std::vector<Pair> fwd{{0, 5}, {1, 6}, {2, 7}};
+  const std::vector<Pair> rev{{5, 0}, {6, 1}, {7, 2}};
+  const auto lf = den.decode(h, fwd, {0, 0, 0}, 2);
+  const auto lr = den.decode(h, rev, {0, 0, 0}, 2);
+  for (std::size_t k = 0; k < fwd.size(); ++k) {
+    diff += std::abs(lf.value()[k] - lr.value()[k]);
+  }
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Denoiser, SymmetricAblationIsDirectionBlind) {
+  util::Rng rng(4);
+  Denoiser den(
+      {.mpnn_layers = 2, .hidden = 16, .time_dim = 8, .symmetric_decoder = true},
+      rng);
+  // With identical node embeddings H_i == H_j the symmetric decoder gives
+  // identical scores both ways; check via duplicate-feature nodes.
+  nn::Matrix features(2, Denoiser::feature_dim());
+  features.at(0, 0) = 1.0f;
+  features.at(1, 0) = 1.0f;
+  const auto h = den.encode(features, {{}, {}}, 1);
+  const auto l1 = den.decode(h, {{0, 1}}, {0}, 1);
+  const auto l2 = den.decode(h, {{1, 0}}, {0}, 1);
+  EXPECT_FLOAT_EQ(l1.value()[0], l2.value()[0]);
+}
+
+TEST(DiffusionModel, TrainingLossDecreases) {
+  DiffusionConfig cfg;
+  cfg.steps = 5;
+  cfg.denoiser = {.mpnn_layers = 2, .hidden = 16, .time_dim = 8};
+  cfg.epochs = 25;
+  cfg.seed = 9;
+  DiffusionModel model(cfg);
+  const std::vector<graph::Graph> corpus{rtl::make_counter(6),
+                                         rtl::make_fifo_ctrl(3)};
+  const auto stats = model.train(corpus);
+  ASSERT_EQ(stats.epoch_loss.size(), 25u);
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    early += stats.epoch_loss[static_cast<std::size_t>(i)];
+    late += stats.epoch_loss[stats.epoch_loss.size() - 1 - static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(DiffusionModel, SampleShapesAndDensity) {
+  DiffusionConfig cfg;
+  cfg.steps = 4;
+  cfg.denoiser = {.mpnn_layers = 2, .hidden = 12, .time_dim = 8};
+  cfg.epochs = 10;
+  cfg.seed = 10;
+  DiffusionModel model(cfg);
+  const auto g = rtl::make_counter(8);
+  model.train({g});
+  util::Rng rng(1);
+  const auto attrs = graph::attrs_of(g);
+  const auto sample = model.sample(attrs, rng);
+  EXPECT_EQ(sample.adjacency.size(), attrs.size());
+  EXPECT_EQ(sample.edge_prob.rows(), attrs.size());
+  // Density within an order of magnitude of the training density: the
+  // marginal-preserving noise anchors it.
+  const double train_density =
+      static_cast<double>(g.num_edges()) /
+      static_cast<double>(g.num_nodes() * g.num_nodes());
+  const double sample_density =
+      static_cast<double>(sample.adjacency.num_edges()) /
+      static_cast<double>(attrs.size() * attrs.size());
+  EXPECT_LT(sample_density, train_density * 10 + 0.05);
+  // Diagonal stays empty.
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    EXPECT_FALSE(sample.adjacency.at(i, i));
+  }
+}
+
+TEST(DiffusionModel, SampleBeforeTrainThrows) {
+  DiffusionModel model(DiffusionConfig{});
+  util::Rng rng(1);
+  graph::NodeAttrs attrs;
+  attrs.types = {graph::NodeType::kInput, graph::NodeType::kOutput};
+  attrs.widths = {1, 1};
+  EXPECT_THROW(model.sample(attrs, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace syn::diffusion

@@ -1,0 +1,191 @@
+// Tests for the swap action, MCTS search and the PCS discriminator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/postprocess.hpp"
+#include "core/generator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/validity.hpp"
+#include "mcts/discriminator.hpp"
+#include "mcts/mcts.hpp"
+#include "rtl/generators.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace syn::mcts {
+namespace {
+
+using graph::Graph;
+using graph::NodeAttrs;
+using graph::NodeType;
+
+/// A deliberately redundant valid circuit: a random repair with many
+/// unobservable register cones.
+Graph redundant_circuit(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::AttrSampler sampler;
+  sampler.fit(rtl::corpus_graphs({.seed = 3}));
+  const NodeAttrs attrs = sampler.sample(n, rng);
+  graph::AdjacencyMatrix empty(n);
+  nn::Matrix probs(n, n);
+  for (auto& v : probs.data()) v = static_cast<float>(rng.uniform());
+  return core::repair_to_valid(attrs, empty, probs, rng);
+}
+
+TEST(SwapAction, PreservesDegreesAndValidity) {
+  Graph g = redundant_circuit(30, 41);
+  util::Rng rng(42);
+  const auto edges_before = g.num_edges();
+  std::vector<std::size_t> out_before;
+  for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+    out_before.push_back(g.fanouts(i).size());
+  }
+  int applied = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    SwapAction a;
+    a.child_a = static_cast<graph::NodeId>(rng.uniform_int(g.num_nodes()));
+    a.child_b = static_cast<graph::NodeId>(rng.uniform_int(g.num_nodes()));
+    if (g.fanins(a.child_a).empty() || g.fanins(a.child_b).empty()) continue;
+    a.slot_a = static_cast<int>(rng.uniform_int(g.fanins(a.child_a).size()));
+    a.slot_b = static_cast<int>(rng.uniform_int(g.fanins(a.child_b).size()));
+    applied += apply_swap(g, a);
+    ASSERT_TRUE(graph::is_valid(g)) << "after trial " << trial;
+  }
+  EXPECT_GT(applied, 0);
+  EXPECT_EQ(g.num_edges(), edges_before);
+  // Out-degrees (paper: the atomic operation maintains in/out degrees).
+  for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.fanouts(i).size(), out_before[i]) << "node " << i;
+  }
+}
+
+TEST(SwapAction, RejectsDegenerateSwaps) {
+  Graph g = redundant_circuit(20, 43);
+  // Same (child, slot) twice is a no-op and must be rejected.
+  graph::NodeId child = graph::kNoNode;
+  for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (!g.fanins(i).empty()) {
+      child = i;
+      break;
+    }
+  }
+  ASSERT_NE(child, graph::kNoNode);
+  EXPECT_FALSE(apply_swap(g, {child, 0, child, 0}));
+}
+
+TEST(SwapAction, RevertsCleanlyOnCombLoopRejection) {
+  // in -> not1 -> not2 -> reg -> out; swapping not2's parent with reg's
+  // parent would wire not1 -> reg and not2 -> not2 (loop) — must revert.
+  Graph g("t");
+  const auto in = g.add_node(NodeType::kInput, 1);
+  const auto n1 = g.add_node(NodeType::kNot, 1);
+  const auto n2 = g.add_node(NodeType::kNot, 1);
+  const auto r = g.add_node(NodeType::kReg, 1);
+  const auto out = g.add_node(NodeType::kOutput, 1);
+  g.set_fanin(n1, 0, in);
+  g.set_fanin(n2, 0, n1);
+  g.set_fanin(r, 0, n2);
+  g.set_fanin(out, 0, r);
+  const Graph snapshot = g;
+  EXPECT_FALSE(apply_swap(g, {n2, 0, r, 0}));
+  EXPECT_EQ(g, snapshot);
+}
+
+TEST(Mcts, ImprovesObservabilityRewardOnRedundantCircuit) {
+  // Reward = fraction of register bits observable: MCTS should rewire
+  // cones so more registers reach outputs.
+  const RewardFn reward = [](const Graph& g) {
+    const auto mask = graph::observable_mask(g);
+    std::size_t seen = 0, total = 0;
+    for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+      if (graph::is_sequential(g.type(i))) {
+        ++total;
+        seen += mask[i];
+      }
+    }
+    return total ? static_cast<double>(seen) / static_cast<double>(total)
+                 : 0.0;
+  };
+  const Graph start = redundant_circuit(40, 44);
+  util::Rng rng(45);
+  const MctsConfig cfg{.simulations = 80, .max_depth = 6,
+                       .actions_per_state = 8, .max_registers = 4};
+  const Graph optimized = optimize_registers(start, cfg, reward, rng);
+  EXPECT_TRUE(graph::is_valid(optimized));
+  EXPECT_GE(reward(optimized), reward(start));
+}
+
+TEST(Mcts, BeatsOrMatchesRandomSearchOnAverage) {
+  const RewardFn reward = exact_pcs_reward();
+  double mcts_total = 0.0, random_total = 0.0, start_total = 0.0;
+  for (std::uint64_t seed = 50; seed < 53; ++seed) {
+    const Graph start = redundant_circuit(30, seed);
+    util::Rng rng_a(seed);
+    util::Rng rng_b(seed);
+    const MctsConfig cfg{.simulations = 40, .max_depth = 5,
+                         .actions_per_state = 6, .max_registers = 3};
+    const Graph via_mcts = optimize_registers(start, cfg, reward, rng_a);
+    const Graph via_random = random_optimize(start, cfg, reward, rng_b);
+    mcts_total += reward(via_mcts);
+    random_total += reward(via_random);
+    start_total += reward(start);
+  }
+  EXPECT_GE(mcts_total, start_total);          // never loses ground
+  EXPECT_GE(mcts_total, random_total * 0.95);  // competitive with random
+}
+
+TEST(Discriminator, CorrelatesWithExactPcs) {
+  // Train on a mixed population, verify rank correlation on fresh graphs.
+  std::vector<Graph> train;
+  for (std::uint64_t s = 60; s < 72; ++s) {
+    train.push_back(redundant_circuit(24, s));
+  }
+  for (auto& d : rtl::make_corpus({.seed = 4})) {
+    train.push_back(std::move(d.graph));
+  }
+  PcsDiscriminator disc(7);
+  disc.fit(train, 400);
+
+  std::vector<double> exact, predicted;
+  for (std::uint64_t s = 80; s < 88; ++s) {
+    const Graph g = redundant_circuit(24, s);
+    exact.push_back(synth::synthesize_stats(g).pcs());
+    predicted.push_back(disc.predict(g));
+  }
+  for (auto& d : rtl::make_corpus({.seed = 5})) {
+    exact.push_back(synth::synthesize_stats(d.graph).pcs());
+    predicted.push_back(disc.predict(d.graph));
+  }
+  // Spearman rank correlation.
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      r[idx[i]] = static_cast<double>(i);
+    }
+    return r;
+  };
+  const auto ra = ranks(exact);
+  const auto rb = ranks(predicted);
+  double num = 0.0, da = 0.0, db = 0.0;
+  const double mean = static_cast<double>(exact.size() - 1) / 2.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    num += (ra[i] - mean) * (rb[i] - mean);
+    da += (ra[i] - mean) * (ra[i] - mean);
+    db += (rb[i] - mean) * (rb[i] - mean);
+  }
+  const double spearman = num / std::sqrt(da * db);
+  EXPECT_GT(spearman, 0.5) << "discriminator does not track PCS";
+}
+
+TEST(Discriminator, RejectsMisuse) {
+  PcsDiscriminator disc(1);
+  EXPECT_THROW((void)disc.predict(rtl::make_counter(4)), std::logic_error);
+  EXPECT_THROW(disc.fit({}, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syn::mcts

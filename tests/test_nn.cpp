@@ -1,0 +1,227 @@
+// Autograd correctness: finite-difference gradient checks over every op,
+// plus layer/optimizer behaviour (a tiny training problem must converge).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace syn::nn {
+namespace {
+
+/// Numerically checks d(loss)/d(leaf) for a scalar-producing builder.
+void check_gradients(Tensor leaf,
+                     const std::function<Tensor(const Tensor&)>& build,
+                     double tol = 2e-2) {
+  Tensor loss = build(leaf);
+  ASSERT_EQ(loss.rows(), 1u);
+  ASSERT_EQ(loss.cols(), 1u);
+  leaf.zero_grad();
+  loss.backward();
+  const Matrix analytic = leaf.grad();
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < leaf.value().size(); ++i) {
+    const float orig = leaf.value()[i];
+    leaf.value()[i] = orig + eps;
+    const float up = build(leaf).value()[0];
+    leaf.value()[i] = orig - eps;
+    const float down = build(leaf).value()[0];
+    leaf.value()[i] = orig;
+    const double numeric = (static_cast<double>(up) - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol)
+        << "entry " << i << " analytic=" << analytic[i]
+        << " numeric=" << numeric;
+  }
+}
+
+Tensor random_leaf(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor(Matrix::randn(r, c, rng, 0.5), /*requires_grad=*/true);
+}
+
+TEST(Autograd, MatmulGradients) {
+  util::Rng rng(1);
+  const Tensor b(Matrix::randn(3, 2, rng, 0.5));
+  check_gradients(random_leaf(2, 3, 2), [&](const Tensor& a) {
+    return mean_all(matmul(a, b));
+  });
+}
+
+TEST(Autograd, MatmulRightOperandGradients) {
+  util::Rng rng(3);
+  const Tensor a(Matrix::randn(2, 3, rng, 0.5));
+  check_gradients(random_leaf(3, 2, 4), [&](const Tensor& b) {
+    return mean_all(matmul(a, b));
+  });
+}
+
+TEST(Autograd, AddBroadcastGradients) {
+  util::Rng rng(5);
+  const Tensor x(Matrix::randn(4, 3, rng, 0.5));
+  check_gradients(random_leaf(1, 3, 6), [&](const Tensor& bias) {
+    return mean_all(mul(add(x, bias), add(x, bias)));
+  });
+}
+
+TEST(Autograd, ElementwiseOpsGradients) {
+  check_gradients(random_leaf(3, 3, 7), [](const Tensor& a) {
+    return mean_all(mul(relu(a), tanh_t(a)));
+  });
+  check_gradients(random_leaf(2, 4, 8), [](const Tensor& a) {
+    return mean_all(sigmoid(sub(a, scale(a, 0.3f))));
+  });
+}
+
+TEST(Autograd, ConcatAndGatherGradients) {
+  check_gradients(random_leaf(4, 2, 9), [](const Tensor& a) {
+    const Tensor g = gather_rows(a, {0, 2, 2, 3});
+    return mean_all(mul(concat_cols(g, g), concat_cols(g, g)));
+  });
+}
+
+TEST(Autograd, AggregateRowsGradients) {
+  check_gradients(random_leaf(4, 3, 10), [](const Tensor& a) {
+    const Tensor agg = aggregate_rows(a, {{0, 1}, {2}, {}, {1, 2, 3}}, 4);
+    return mean_all(mul(agg, agg));
+  });
+}
+
+TEST(Autograd, BceWithLogitsGradients) {
+  Matrix targets(3, 2);
+  targets.at(0, 0) = 1.0f;
+  targets.at(1, 1) = 1.0f;
+  targets.at(2, 0) = 1.0f;
+  check_gradients(random_leaf(3, 2, 11), [&](const Tensor& z) {
+    return bce_with_logits(z, targets);
+  });
+}
+
+TEST(Autograd, WeightedBceIgnoresZeroWeightEntries) {
+  Matrix targets(1, 2);
+  targets.at(0, 0) = 1.0f;
+  Matrix weights(1, 2);
+  weights.at(0, 0) = 1.0f;  // second entry weight 0
+  Tensor z = random_leaf(1, 2, 12);
+  Tensor loss = bce_with_logits(z, targets, weights);
+  z.zero_grad();
+  loss.backward();
+  EXPECT_NE(z.grad()[0], 0.0f);
+  EXPECT_EQ(z.grad()[1], 0.0f);
+}
+
+TEST(Autograd, MseGradients) {
+  Matrix targets(2, 3, 0.25f);
+  check_gradients(random_leaf(2, 3, 13), [&](const Tensor& p) {
+    return mse(p, targets);
+  });
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwardCalls) {
+  Tensor a(Matrix(1, 1, 2.0f), true);
+  auto loss = [&] { return mean_all(mul(a, a)); };
+  a.zero_grad();
+  loss().backward();
+  const float once = a.grad()[0];
+  loss().backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 2 * once);
+}
+
+TEST(Autograd, DiamondGraphAccumulates) {
+  // loss = mean(a*a + a*a) — shared subexpression used twice.
+  Tensor a(Matrix(1, 1, 3.0f), true);
+  const Tensor sq = mul(a, a);
+  Tensor loss = mean_all(add(sq, sq));
+  a.zero_grad();
+  loss.backward();
+  EXPECT_NEAR(a.grad()[0], 12.0f, 1e-4);  // d(2a^2)/da = 4a
+}
+
+TEST(Layers, LinearShapes) {
+  util::Rng rng(21);
+  Linear lin(5, 3, rng);
+  const Tensor y = lin.forward(Tensor(Matrix(7, 5, 0.1f)));
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(lin.parameters().size(), 2u);
+}
+
+TEST(Layers, GruCellKeepsHiddenShape) {
+  util::Rng rng(22);
+  GruCell cell(4, 6, rng);
+  const Tensor h =
+      cell.forward(Tensor(Matrix(3, 4, 0.2f)), Tensor(Matrix(3, 6)));
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 6u);
+}
+
+TEST(Layers, TimestepEncodingBoundedAndDistinct) {
+  const Matrix e1 = timestep_encoding(1, 16);
+  const Matrix e5 = timestep_encoding(5, 16);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_LE(std::abs(e1[i]), 1.0f);
+    diff += std::abs(e1[i] - e5[i]);
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(Optim, AdamFitsLinearRegression) {
+  util::Rng rng(31);
+  // y = x * w_true; learn w from noisy samples.
+  Matrix x(64, 2), y(64, 1);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.gaussian());
+    x.at(i, 1) = static_cast<float>(rng.gaussian());
+    y.at(i, 0) = 2.0f * x.at(i, 0) - 1.0f * x.at(i, 1) +
+                 0.01f * static_cast<float>(rng.gaussian());
+  }
+  Tensor w(Matrix(2, 1), true);
+  Adam opt({w}, {.lr = 0.05});
+  for (int it = 0; it < 300; ++it) {
+    opt.zero_grad();
+    Tensor loss = mse(matmul(Tensor(x), w), y);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.value()[0], 2.0f, 0.05);
+  EXPECT_NEAR(w.value()[1], -1.0f, 0.05);
+}
+
+TEST(Optim, GradientClippingLimitsStep) {
+  Tensor w(Matrix(1, 1, 0.0f), true);
+  Adam opt({w}, {.lr = 1.0, .clip_norm = 1e-3});
+  opt.zero_grad();
+  Tensor loss = mse(scale(w, 100.0f), Matrix(1, 1, 50.0f));
+  loss.backward();
+  opt.step();
+  // Without clipping the first Adam step is lr * 1 = 1.0; with tiny clip the
+  // direction is preserved but magnitude bounded by Adam's normalization.
+  EXPECT_LT(std::abs(w.value()[0]), 1.1f);
+  EXPECT_GT(w.value()[0], 0.0f);  // moves toward the target
+}
+
+TEST(Optim, TrainingIsDeterministicForFixedSeed) {
+  auto train = [] {
+    util::Rng rng(77);
+    Mlp mlp({3, 8, 1}, rng);
+    Adam opt(mlp.parameters(), {.lr = 0.01});
+    Matrix x(16, 3, 0.5f), y(16, 1, 0.25f);
+    float final_loss = 0.0f;
+    for (int it = 0; it < 20; ++it) {
+      opt.zero_grad();
+      Tensor loss = mse(mlp.forward(Tensor(x)), y);
+      loss.backward();
+      opt.step();
+      final_loss = loss.value()[0];
+    }
+    return final_loss;
+  };
+  EXPECT_EQ(train(), train());
+}
+
+}  // namespace
+}  // namespace syn::nn

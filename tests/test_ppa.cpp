@@ -1,0 +1,167 @@
+// Tests for STA, PPA labeling, the regressors and the Table III harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppa/experiment.hpp"
+#include "ppa/features.hpp"
+#include "ppa/labeler.hpp"
+#include "ppa/metrics.hpp"
+#include "ppa/models.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/generators.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/rng.hpp"
+
+namespace syn::ppa {
+namespace {
+
+using graph::Graph;
+using rtl::Builder;
+
+TEST(Sta, ShortPipelineMeetsSlowClock) {
+  const auto result = synth::synthesize(rtl::make_shift_register(4, 4));
+  const auto timing = sta::analyze(result.netlist, {.clock_period_ns = 5.0});
+  EXPECT_GT(timing.endpoints, 0u);
+  EXPECT_EQ(timing.violated_endpoints, 0u);
+  EXPECT_GT(timing.wns, 0.0);
+  EXPECT_DOUBLE_EQ(timing.tns, 0.0);
+}
+
+TEST(Sta, WideMultiplierViolatesFastClock) {
+  Builder b("mul");
+  const auto x = b.input(16);
+  const auto y = b.input(16);
+  const auto r = b.reg(16);
+  b.drive_reg(r, b.mul(x, y));
+  b.output(r);
+  const auto result = synth::synthesize(b.take());
+  const auto timing = sta::analyze(result.netlist, {.clock_period_ns = 0.5});
+  EXPECT_GT(timing.violated_endpoints, 0u);
+  EXPECT_LT(timing.wns, 0.0);
+  EXPECT_LT(timing.tns, timing.wns - 1e-12);  // TNS at least as negative
+  EXPECT_LT(timing.tns_per_violation(), 0.0);
+}
+
+TEST(Sta, DelayScaleMonotone) {
+  const auto result = synth::synthesize(rtl::make_alu(12));
+  const auto fast = sta::analyze(result.netlist,
+                                 {.clock_period_ns = 1.0, .delay_scale = 0.7});
+  const auto slow = sta::analyze(result.netlist,
+                                 {.clock_period_ns = 1.0, .delay_scale = 1.3});
+  EXPECT_GT(fast.wns, slow.wns);
+}
+
+TEST(Sta, RegisterSlackCountMatchesDffs) {
+  const auto result = synth::synthesize(rtl::make_counter(8));
+  const auto timing = sta::analyze(result.netlist, {.clock_period_ns = 2.0});
+  EXPECT_EQ(timing.register_slacks.size(), result.netlist.num_dffs());
+}
+
+TEST(Labeler, BiggerDesignHasBiggerArea) {
+  const auto small = label_design(rtl::make_alu(6));
+  const auto large = label_design(rtl::make_alu(24));
+  EXPECT_GT(large.area, small.area);
+  EXPECT_LT(large.wns, small.wns);  // wider ALU has longer paths
+}
+
+TEST(Features, DimensionAndDeterminism) {
+  const Graph g = rtl::make_uart_tx(8);
+  const auto f1 = design_features(g);
+  const auto f2 = design_features(g);
+  EXPECT_EQ(f1.size(), kDesignFeatureDim);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(design_feature_names().size(), kDesignFeatureDim);
+}
+
+TEST(Metrics, PearsonPerfectAndInverse) {
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_NEAR(pearson_r(y, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_r(y, {4, 3, 2, 1}), -1.0, 1e-12);
+  EXPECT_TRUE(std::isnan(pearson_r(y, {2, 2, 2, 2})));  // "NA" case
+}
+
+TEST(Metrics, MapeAndRrse) {
+  const std::vector<double> truth{10, 20};
+  const std::vector<double> pred{11, 18};
+  EXPECT_NEAR(mape(truth, pred), (0.1 + 0.1) / 2.0, 1e-12);
+  // RRSE of predicting the mean is exactly 1.
+  const std::vector<double> mean_pred{15, 15};
+  EXPECT_NEAR(rrse(truth, mean_pred), 1.0, 1e-12);
+}
+
+TEST(Ridge, RecoversLinearRelationship) {
+  util::Rng rng(71);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.gaussian(), b = rng.gaussian();
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b + 5.0 + 0.01 * rng.gaussian());
+  }
+  RidgeRegression ridge(0.01);
+  ridge.fit(x, y);
+  EXPECT_NEAR(ridge.predict({1.0, 1.0}), 6.0, 0.2);
+  EXPECT_NEAR(ridge.predict({0.0, 0.0}), 5.0, 0.2);
+}
+
+TEST(Forest, FitsNonlinearFunction) {
+  util::Rng rng(72);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    x.push_back({a, rng.uniform(-1.0, 1.0)});
+    y.push_back(a * a);  // depends only on feature 0, nonlinearly
+  }
+  RandomForest forest({.trees = 40, .max_depth = 6, .seed = 5});
+  forest.fit(x, y);
+  double err = 0.0;
+  for (double a = -1.5; a <= 1.5; a += 0.5) {
+    err += std::abs(forest.predict({a, 0.0}) - a * a);
+  }
+  EXPECT_LT(err / 7.0, 0.4);
+}
+
+TEST(Forest, DeterministicForFixedSeed) {
+  std::vector<std::vector<double>> x{{1}, {2}, {3}, {4}, {5}, {6}};
+  std::vector<double> y{1, 4, 9, 16, 25, 36};
+  RandomForest f1({.trees = 10, .seed = 9});
+  RandomForest f2({.trees = 10, .seed = 9});
+  f1.fit(x, y);
+  f2.fit(x, y);
+  EXPECT_DOUBLE_EQ(f1.predict({3.5}), f2.predict({3.5}));
+}
+
+TEST(Forest, RejectsMisuse) {
+  RandomForest forest;
+  EXPECT_THROW((void)forest.predict({1.0}), std::logic_error);
+  EXPECT_THROW(forest.fit({}, {}), std::invalid_argument);
+}
+
+TEST(Experiment, MoreRealTrainingDataHelps) {
+  // Sanity check of the harness itself: training on 12 designs should not
+  // be worse than training on 3 for area prediction on held-out designs.
+  const auto corpus = rtl::corpus_graphs({.seed = 8});
+  std::vector<Graph> train_small(corpus.begin(), corpus.begin() + 3);
+  std::vector<Graph> train_large(corpus.begin(), corpus.begin() + 12);
+  std::vector<Graph> test(corpus.begin() + 15, corpus.end());
+  const auto small = run_ppa_experiment(train_small, {}, test);
+  const auto large = run_ppa_experiment(train_large, {}, test);
+  EXPECT_LE(large.targets[3].rrse, small.targets[3].rrse * 1.5);
+}
+
+TEST(Experiment, ReportsAllFourTargets) {
+  const auto corpus = rtl::corpus_graphs({.seed = 8});
+  std::vector<Graph> train(corpus.begin(), corpus.begin() + 8);
+  std::vector<Graph> test(corpus.begin() + 8, corpus.begin() + 14);
+  const auto result = run_ppa_experiment(train, {}, test);
+  for (const auto& scores : result.targets) {
+    EXPECT_GE(scores.mape, 0.0);
+    EXPECT_GE(scores.rrse, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace syn::ppa

@@ -1,0 +1,240 @@
+// Property-based suites: invariants checked over parameter sweeps
+// (corpus designs, sizes, densities, schedules, seeds).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/postprocess.hpp"
+#include "core/generator.hpp"
+#include "diffusion/schedule.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/validity.hpp"
+#include "mcts/discriminator.hpp"
+#include "rtl/generators.hpp"
+#include "rtl/verilog.hpp"
+#include "stats/metrics.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace syn {
+namespace {
+
+using graph::Graph;
+using graph::NodeAttrs;
+using graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// Every corpus design, as a property sweep.
+// ---------------------------------------------------------------------------
+
+class CorpusDesignProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Graph design() const {
+    auto corpus = rtl::make_corpus({.seed = 1});
+    return std::move(corpus[static_cast<std::size_t>(GetParam())].graph);
+  }
+};
+
+TEST_P(CorpusDesignProperty, SatisfiesConstraintsC) {
+  const Graph g = design();
+  const auto report = graph::validate(g);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(CorpusDesignProperty, VerilogRoundTripExact) {
+  const Graph g = design();
+  EXPECT_EQ(g, rtl::from_verilog(rtl::to_verilog(g)));
+}
+
+TEST_P(CorpusDesignProperty, CombTopoOrderSchedulesEveryNode) {
+  const Graph g = design();
+  const auto order = graph::comb_topo_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), g.num_nodes());
+}
+
+TEST_P(CorpusDesignProperty, ScprWithinRealisticBand) {
+  const auto stats = synth::synthesize_stats(design());
+  EXPECT_GE(stats.scpr(), 0.7);
+  EXPECT_LE(stats.scpr(), 1.0);
+}
+
+TEST_P(CorpusDesignProperty, ObservabilityMatchesRegisterSurvival) {
+  // Registers that survive synthesis can be at most the observable ones
+  // (constant-folding can remove more, never fewer).
+  const Graph g = design();
+  const auto mask = graph::observable_mask(g);
+  std::size_t observable_bits = 0;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (graph::is_sequential(g.type(i)) && mask[i]) {
+      observable_bits += static_cast<std::size_t>(g.width(i));
+    }
+  }
+  EXPECT_LE(synth::synthesize_stats(g).seq_cells, observable_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(All22, CorpusDesignProperty, ::testing::Range(0, 22));
+
+// ---------------------------------------------------------------------------
+// Phase 2 repair over a (size, density) grid.
+// ---------------------------------------------------------------------------
+
+class RepairProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RepairProperty, AlwaysProducesValidGraph) {
+  const auto [size, density] = GetParam();
+  core::AttrSampler sampler;
+  sampler.fit(rtl::corpus_graphs({.seed = 2}));
+  util::Rng rng(static_cast<std::uint64_t>(size * 1000) +
+                static_cast<std::uint64_t>(density * 100));
+  const NodeAttrs attrs = sampler.sample(static_cast<std::size_t>(size), rng);
+  graph::AdjacencyMatrix gini(attrs.size());
+  nn::Matrix probs(attrs.size(), attrs.size());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    for (std::size_t j = 0; j < attrs.size(); ++j) {
+      if (i != j) gini.set(i, j, rng.bernoulli(density));
+      probs.at(i, j) = static_cast<float>(rng.uniform());
+    }
+  }
+  const Graph g = core::repair_to_valid(attrs, gini, probs, rng);
+  const auto report = graph::validate(g);
+  EXPECT_TRUE(report.ok()) << "n=" << size << " d=" << density << "\n"
+                           << report.to_string();
+  // Repair preserves the attribute conditioning verbatim.
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    EXPECT_EQ(g.type(static_cast<NodeId>(i)), attrs.types[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeDensityGrid, RepairProperty,
+    ::testing::Combine(::testing::Values(8, 20, 50, 90),
+                       ::testing::Values(0.0, 0.02, 0.15, 0.5, 0.95)));
+
+// ---------------------------------------------------------------------------
+// Schedule posterior over a (steps, marginal) grid.
+// ---------------------------------------------------------------------------
+
+class ScheduleProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ScheduleProperty, PosteriorMonotoneInPrediction) {
+  const auto [steps, marginal] = GetParam();
+  const diffusion::Schedule s(steps, marginal);
+  for (int t = 1; t <= steps; ++t) {
+    for (const bool at : {false, true}) {
+      double prev = -1.0;
+      for (double p = 0.0; p <= 1.0; p += 0.25) {
+        const double q = s.posterior(t, at, p);
+        EXPECT_GE(q, prev - 1e-12) << "t=" << t << " at=" << at;
+        prev = q;
+      }
+    }
+  }
+}
+
+TEST_P(ScheduleProperty, ForwardMarginalConvergesToNoise) {
+  const auto [steps, marginal] = GetParam();
+  const diffusion::Schedule s(steps, marginal);
+  EXPECT_NEAR(s.q_t_given_0(steps, true), marginal, 0.12);
+  EXPECT_NEAR(s.q_t_given_0(steps, false), marginal, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StepsMarginalGrid, ScheduleProperty,
+    ::testing::Combine(::testing::Values(1, 3, 9, 20),
+                       ::testing::Values(0.01, 0.1, 0.3)));
+
+// ---------------------------------------------------------------------------
+// Swap-action invariants across random circuits.
+// ---------------------------------------------------------------------------
+
+class SwapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwapProperty, EdgeAndDegreeInvariantsHoldUnderSwapSequences) {
+  util::Rng rng(GetParam());
+  core::AttrSampler sampler;
+  sampler.fit(rtl::corpus_graphs({.seed = 3}));
+  const NodeAttrs attrs = sampler.sample(30, rng);
+  graph::AdjacencyMatrix gini(attrs.size());
+  nn::Matrix probs(attrs.size(), attrs.size());
+  for (auto& v : probs.data()) v = static_cast<float>(rng.uniform());
+  Graph g = core::repair_to_valid(attrs, gini, probs, rng);
+
+  const auto edges = g.num_edges();
+  const auto in_degrees = [&] {
+    std::vector<std::size_t> d;
+    for (NodeId i = 0; i < g.num_nodes(); ++i) d.push_back(g.fanins(i).size());
+    return d;
+  }();
+  for (int k = 0; k < 60; ++k) {
+    mcts::SwapAction a;
+    a.child_a = static_cast<NodeId>(rng.uniform_int(g.num_nodes()));
+    a.child_b = static_cast<NodeId>(rng.uniform_int(g.num_nodes()));
+    if (g.fanins(a.child_a).empty() || g.fanins(a.child_b).empty()) continue;
+    a.slot_a = static_cast<int>(rng.uniform_int(g.fanins(a.child_a).size()));
+    a.slot_b = static_cast<int>(rng.uniform_int(g.fanins(a.child_b).size()));
+    mcts::apply_swap(g, a);
+  }
+  EXPECT_EQ(g.num_edges(), edges);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.fanins(i).size(), in_degrees[i]);
+  }
+  EXPECT_FALSE(graph::has_combinational_loop(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwapProperty,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+// ---------------------------------------------------------------------------
+// Structural metrics are permutation-insensitive where they should be.
+// ---------------------------------------------------------------------------
+
+class MetricProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricProperty, HomophilyBetweenZeroAndOne) {
+  auto corpus = rtl::make_corpus({.seed = 4});
+  const Graph& g = corpus[static_cast<std::size_t>(GetParam())].graph;
+  for (const bool two_hop : {false, true}) {
+    const double h = stats::homophily(g, two_hop);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+}
+
+TEST_P(MetricProperty, ClusteringCoefficientsInUnitInterval) {
+  auto corpus = rtl::make_corpus({.seed = 4});
+  const Graph& g = corpus[static_cast<std::size_t>(GetParam())].graph;
+  for (double c : stats::clustering_samples(g)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SomeDesigns, MetricProperty,
+                         ::testing::Values(0, 5, 9, 14, 20));
+
+// ---------------------------------------------------------------------------
+// Hybrid reward sanity.
+// ---------------------------------------------------------------------------
+
+TEST(HybridReward, RequiresFittedDiscriminator) {
+  mcts::PcsDiscriminator disc(3);
+  EXPECT_THROW((void)mcts::hybrid_reward(disc), std::logic_error);
+}
+
+TEST(HybridReward, ObservabilityFractionExactOnKnownGraph) {
+  // One observable register (drives output), one dead register.
+  Graph g("t");
+  const NodeId in = g.add_node(graph::NodeType::kInput, 4);
+  const NodeId live = g.add_node(graph::NodeType::kReg, 4);
+  const NodeId dead = g.add_node(graph::NodeType::kReg, 4);
+  const NodeId out = g.add_node(graph::NodeType::kOutput, 4);
+  g.set_fanin(live, 0, in);
+  g.set_fanin(dead, 0, in);
+  g.set_fanin(out, 0, live);
+  EXPECT_DOUBLE_EQ(mcts::observable_register_fraction(g), 0.5);
+}
+
+}  // namespace
+}  // namespace syn

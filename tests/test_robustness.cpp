@@ -1,0 +1,224 @@
+// Robustness and edge-case coverage: parser resilience against mangled
+// input, numerical edge cases in the nn substrate, boundary conditions of
+// the graph IR and pipeline components.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generator.hpp"
+#include "core/postprocess.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/validity.hpp"
+#include "nn/optim.hpp"
+#include "nn/tensor.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/generators.hpp"
+#include "rtl/verilog.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/rng.hpp"
+
+namespace syn {
+namespace {
+
+using graph::Graph;
+using graph::NodeType;
+using rtl::Builder;
+
+// --- Verilog parser resilience ----------------------------------------------
+
+class ParserRejectionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRejectionTest, MalformedModuleRejected) {
+  EXPECT_THROW(rtl::from_verilog(GetParam()), rtl::VerilogParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParserRejectionTest,
+    ::testing::Values(
+        "",                                        // empty
+        "module m(clk);",                          // no endmodule, no body
+        "module m(clk); wire [3:0] w0 = ; endmodule",   // missing RHS
+        "module m(clk); wire [3:0] w0 = w1 w2; endmodule",  // missing op
+        "module m(clk); input [3:0] in5; endmodule",  // non-dense ids
+        "module m(clk); reg [3:0] w0; endmodule",  // reg never driven
+        "module m(clk); wire [3:0] w0 = q9 + q8; endmodule"));  // bad names
+
+TEST(Parser, TruncatedRealModuleRejected) {
+  const std::string full = rtl::to_verilog(rtl::make_counter(8));
+  // Cut the text at several places; every prefix must throw, not crash.
+  for (const double frac : {0.2, 0.5, 0.8, 0.95}) {
+    const auto cut = static_cast<std::size_t>(full.size() * frac);
+    EXPECT_THROW(rtl::from_verilog(full.substr(0, cut)),
+                 rtl::VerilogParseError)
+        << "at fraction " << frac;
+  }
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  const Graph g = rtl::make_counter(6);
+  std::string v = rtl::to_verilog(g);
+  // Double every space and add blank lines; parse must be unchanged.
+  std::string spaced;
+  for (char c : v) {
+    spaced += c;
+    if (c == ' ') spaced += ' ';
+    if (c == '\n') spaced += '\n';
+  }
+  EXPECT_EQ(g, rtl::from_verilog(spaced));
+}
+
+// --- nn numerical edge cases -------------------------------------------------
+
+TEST(TensorEdge, BceWithExtremeLogitsIsFinite) {
+  nn::Matrix targets(1, 2);
+  targets.at(0, 0) = 1.0f;
+  nn::Matrix logits_val(1, 2);
+  logits_val.at(0, 0) = -80.0f;  // would overflow exp() naively
+  logits_val.at(0, 1) = 80.0f;
+  nn::Tensor logits(logits_val, true);
+  nn::Tensor loss = nn::bce_with_logits(logits, targets);
+  EXPECT_TRUE(std::isfinite(loss.value()[0]));
+  logits.zero_grad();
+  loss.backward();
+  for (float gradient : logits.grad().data()) {
+    EXPECT_TRUE(std::isfinite(gradient));
+  }
+}
+
+TEST(TensorEdge, EmptyGroupAggregationIsZero) {
+  nn::Tensor x(nn::Matrix(3, 2, 1.0f));
+  const nn::Tensor agg = nn::aggregate_rows(x, {{}, {}, {}}, 3);
+  for (float v : agg.value().data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorEdge, ScalarChainsDeepGraph) {
+  // A 200-op chain must backprop without stack overflow (iterative topo).
+  nn::Tensor x(nn::Matrix(1, 1, 1.001f), true);
+  nn::Tensor y = x;
+  for (int i = 0; i < 200; ++i) y = nn::scale(y, 1.001f);
+  nn::Tensor loss = nn::mean_all(y);
+  x.zero_grad();
+  loss.backward();
+  EXPECT_TRUE(std::isfinite(x.grad()[0]));
+  EXPECT_GT(x.grad()[0], 1.0f);
+}
+
+TEST(TensorEdge, AdamHandlesZeroGradients) {
+  nn::Tensor w(nn::Matrix(2, 2, 1.0f), true);
+  nn::Adam opt({w});
+  opt.zero_grad();
+  opt.step();  // no backward performed; must not produce NaN
+  for (float v : w.value().data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+// --- graph IR boundaries ------------------------------------------------------
+
+TEST(GraphEdge, WidthBoundsEnforced) {
+  Graph g("t");
+  EXPECT_THROW(g.add_node(NodeType::kAdd, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_node(NodeType::kAdd, 1 << 17), std::invalid_argument);
+}
+
+TEST(GraphEdge, SelfEdgeOnRegisterIsLegalCycle) {
+  // reg feeding itself through a mux is a common "hold" idiom.
+  Builder b("hold");
+  const auto en = b.input(1);
+  const auto d = b.input(8);
+  const auto r = b.reg(8);
+  b.drive_reg(r, b.mux(en, d, r));
+  b.output(r);
+  const Graph g = b.take();
+  EXPECT_TRUE(graph::is_valid(g));
+  EXPECT_FALSE(graph::has_combinational_loop(g));
+}
+
+TEST(GraphEdge, EmptyGraphIsTriviallyConsistent) {
+  Graph g("empty");
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_FALSE(graph::has_combinational_loop(g));
+  EXPECT_EQ(graph::comb_topo_order(g)->size(), 0u);
+}
+
+TEST(GraphEdge, MultiSlotSameParentAllowedAcrossSlots) {
+  // add(x, x) is legal RTL; the graph must hold the parent in two slots.
+  Builder b("dbl");
+  const auto x = b.input(4);
+  const auto s = b.binary(NodeType::kAdd, 4, x, x);
+  b.output(s);
+  const Graph g = b.take();
+  EXPECT_EQ(g.fanin(s, 0), g.fanin(s, 1));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(graph::is_valid(g));
+  // Verilog round-trips the duplicated operand.
+  EXPECT_EQ(g, rtl::from_verilog(rtl::to_verilog(g)));
+}
+
+// --- pipeline component boundaries -------------------------------------------
+
+TEST(PipelineEdge, RepairOnAllRegisterAttrsSucceeds) {
+  // Pathological conditioning: only registers + one in/out. Registers can
+  // take any parent (no comb loops possible through them).
+  graph::NodeAttrs attrs;
+  attrs.types.push_back(NodeType::kInput);
+  attrs.widths.push_back(4);
+  for (int i = 0; i < 10; ++i) {
+    attrs.types.push_back(NodeType::kReg);
+    attrs.widths.push_back(4);
+  }
+  attrs.types.push_back(NodeType::kOutput);
+  attrs.widths.push_back(4);
+  util::Rng rng(3);
+  nn::Matrix probs(attrs.size(), attrs.size());
+  for (auto& v : probs.data()) v = static_cast<float>(rng.uniform());
+  const Graph g = core::repair_to_valid(
+      attrs, graph::AdjacencyMatrix(attrs.size()), probs, rng);
+  EXPECT_TRUE(graph::is_valid(g));
+}
+
+TEST(PipelineEdge, RepairOnAllCombinationalFailsGracefully) {
+  // No registers/sources at all except one input: a deep all-comb attr set
+  // is still repairable (everything chains from the input), but an
+  // attr set with zero legal parents must throw, not hang.
+  graph::NodeAttrs attrs;
+  for (int i = 0; i < 6; ++i) {
+    attrs.types.push_back(NodeType::kNot);
+    attrs.widths.push_back(1);
+  }
+  attrs.types.push_back(NodeType::kOutput);
+  attrs.widths.push_back(1);
+  util::Rng rng(4);
+  nn::Matrix probs(attrs.size(), attrs.size());
+  for (auto& v : probs.data()) v = static_cast<float>(rng.uniform());
+  // First node has no possible parent (everything else would loop back or
+  // is the output) — but wait: a chain not0 <- not1 <- ... is legal as
+  // long as it's acyclic, yet the *first processed* node can pick a later
+  // not-node without creating a loop (no edges exist yet). The repair
+  // must therefore succeed or throw std::runtime_error — never hang or
+  // return an invalid graph.
+  try {
+    const Graph g = core::repair_to_valid(
+        attrs, graph::AdjacencyMatrix(attrs.size()), probs, rng);
+    EXPECT_TRUE(graph::is_valid(g));
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(PipelineEdge, SynthesisOfMinimalDesign) {
+  Builder b("min");
+  b.output(b.input(1));
+  const auto stats = synth::synthesize_stats(b.take());
+  EXPECT_EQ(stats.seq_cells, 0u);
+  EXPECT_EQ(stats.area, 0.0);
+}
+
+TEST(PipelineEdge, AttrSamplerRejectsTinyRequests) {
+  core::AttrSampler sampler;
+  sampler.fit({rtl::make_counter(4)});
+  util::Rng rng(5);
+  EXPECT_THROW((void)sampler.sample(2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syn

@@ -1,0 +1,264 @@
+// Tests for the RTL tooling added on top of the core reproduction: the
+// word-level simulator (cross-checked against a bit-accurate model of the
+// same design), the word-level optimizer, graph export formats, the
+// additional generator families, scale-free fitting and critical paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/export.hpp"
+#include "graph/validity.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/generators.hpp"
+#include "rtl/verilog.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/wordopt.hpp"
+#include "sta/critical_path.hpp"
+#include "stats/scalefree.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/rng.hpp"
+
+namespace syn {
+namespace {
+
+using graph::Graph;
+using graph::NodeType;
+using rtl::Builder;
+
+TEST(Simulator, CounterCountsAndWraps) {
+  rtl::Simulator sim(rtl::make_counter(4, "cnt"));
+  // inputs in id order: en, load, d.
+  std::vector<std::uint64_t> last;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    last = sim.step({1, 0, 0});
+  }
+  // After 20 enabled cycles the counter shows the *previous* cycle's
+  // latched value: counting starts one cycle late, so expect 19 mod 16.
+  EXPECT_EQ(last[0] % 16, (20 - 1) % 16);
+}
+
+TEST(Simulator, CounterLoadPath) {
+  rtl::Simulator sim(rtl::make_counter(8, "cnt"));
+  sim.step({1, 1, 0x5a});  // request load
+  const auto out = sim.step({0, 0, 0});  // latched now
+  EXPECT_EQ(out[0], 0x5au);
+}
+
+TEST(Simulator, AluComputesSelectedOp) {
+  // make_alu inputs in id order: a_in, c, op, acc_mode.
+  rtl::Simulator sim(rtl::make_alu(8, "alu"));
+  sim.step({7, 3, 0, 0});   // op 0 with s2=0,s1=0,s0=0 -> mux tree
+  const auto out = sim.step({7, 3, 0, 0});
+  // op=0: s0=0 -> m0 = sub? m0 = mux(s0, sum, sub) -> sub = 7-3 = 4;
+  // m3 = mux(s1=0, m0, m1) -> m1 = mux(s0=0, and, or)=or? m3 picks ELSE
+  // branch when s1=0 -> m1. Decode precisely: result = mux(s2=0, m3, m4)
+  // -> m4 (else). m4 = mux(s1=0 -> else m0) = sub = 4.
+  EXPECT_EQ(out[0], 4u);
+}
+
+TEST(Simulator, RejectsInvalidDesigns) {
+  Graph g("bad");
+  g.add_node(NodeType::kNot, 1);
+  EXPECT_THROW(rtl::Simulator sim(g), std::invalid_argument);
+}
+
+TEST(Simulator, FifoTracksOccupancy) {
+  rtl::Simulator sim(rtl::make_fifo_ctrl(3, "fifo"));
+  // inputs: push, pop. outputs: full, empty, wptr, rptr, count, strobe.
+  auto out = sim.step({0, 0});
+  for (int i = 0; i < 4; ++i) out = sim.step({1, 0});
+  out = sim.step({0, 0});
+  EXPECT_EQ(out[4], 4u);  // count == pushes
+  for (int i = 0; i < 2; ++i) out = sim.step({0, 1});
+  out = sim.step({0, 0});
+  EXPECT_EQ(out[4], 2u);
+}
+
+TEST(WordOpt, FoldsConstantExpressions) {
+  Builder b("fold");
+  const auto x = b.input(8);
+  const auto k1 = b.constant(8, 3);
+  const auto k2 = b.constant(8, 4);
+  const auto sum = b.add(k1, k2);       // folds to 7
+  b.output(b.add(x, sum));
+  const auto result = rtl::word_optimize(b.take());
+  EXPECT_TRUE(graph::is_valid(result.graph));
+  EXPECT_GE(result.folded_constants, 1u);
+  // The folded node is a const 7.
+  bool has_const7 = false;
+  for (graph::NodeId i = 0; i < result.graph.num_nodes(); ++i) {
+    has_const7 = has_const7 || (result.graph.type(i) == NodeType::kConst &&
+                                result.graph.param(i) == 7);
+  }
+  EXPECT_TRUE(has_const7);
+}
+
+TEST(WordOpt, SweepsDeadLogic) {
+  Builder b("dead");
+  const auto x = b.input(8);
+  b.output(b.not_(x));
+  const auto dead_reg = b.reg(8);
+  b.drive_reg(dead_reg, b.mul(x, x));
+  const Graph g = b.take();
+  const auto result = rtl::word_optimize(g);
+  EXPECT_LT(result.graph.num_nodes(), g.num_nodes());
+  EXPECT_GT(result.swept_nodes, 0u);
+  EXPECT_EQ(result.graph.nodes_of_type(NodeType::kReg).size(), 0u);
+}
+
+TEST(WordOpt, PreservesBehaviourOnCorpusDesigns) {
+  for (int idx : {0, 7, 14}) {
+    auto corpus = rtl::make_corpus({.seed = 9});
+    const Graph original = std::move(corpus[static_cast<std::size_t>(idx)].graph);
+    const auto optimized = rtl::word_optimize(original);
+    ASSERT_TRUE(graph::is_valid(optimized.graph))
+        << graph::validate(optimized.graph).to_string();
+    rtl::Simulator sim_a(original);
+    rtl::Simulator sim_b(optimized.graph);
+    ASSERT_EQ(sim_a.num_inputs(), sim_b.num_inputs());
+    ASSERT_EQ(sim_a.num_outputs(), sim_b.num_outputs());
+    util::Rng rng(42 + static_cast<std::uint64_t>(idx));
+    for (int cycle = 0; cycle < 16; ++cycle) {
+      std::vector<std::uint64_t> in(sim_a.num_inputs());
+      for (auto& v : in) v = rng.next();
+      EXPECT_EQ(sim_a.step(in), sim_b.step(in))
+          << original.name() << " cycle " << cycle;
+    }
+  }
+}
+
+TEST(WordOpt, IdentityRewritesApply) {
+  Builder b("ident");
+  const auto x = b.input(8);
+  const auto zero = b.constant(8, 0);
+  b.output(b.add(x, zero));   // x + 0 == x
+  b.output(b.or_(x, zero));   // x | 0 == x
+  const auto result = rtl::word_optimize(b.take());
+  EXPECT_GE(result.identity_rewrites, 2u);
+  EXPECT_TRUE(graph::is_valid(result.graph));
+}
+
+TEST(Export, JsonRoundTripIsExact) {
+  const Graph g = rtl::make_uart_tx(8);
+  const Graph back = graph::from_json(graph::to_json(g));
+  EXPECT_EQ(g, back);
+  EXPECT_EQ(back.name(), g.name());
+}
+
+TEST(Export, JsonRejectsMalformedInput) {
+  EXPECT_THROW(graph::from_json("{}"), std::runtime_error);
+  EXPECT_THROW(graph::from_json("{\"name\":\"x\",\"nodes\":[[99,1,0]],"
+                                "\"edges\":[]}"),
+               std::runtime_error);
+}
+
+TEST(Export, DotContainsAllNodesAndEdges) {
+  const Graph g = rtl::make_counter(4);
+  const std::string dot = graph::to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " ["), std::string::npos);
+  }
+}
+
+TEST(Export, EdgeListHasOneLinePerEdge) {
+  const Graph g = rtl::make_counter(4);
+  const std::string list = graph::to_edge_list(g);
+  std::size_t lines = 0;
+  for (char c : list) lines += c == '\n';
+  EXPECT_EQ(lines, g.num_edges());
+}
+
+class NewGeneratorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NewGeneratorTest, ValidAndSimulatable) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = rtl::make_gray_counter(6); break;
+    case 1: g = rtl::make_johnson_counter(8); break;
+    case 2: g = rtl::make_priority_encoder(6); break;
+    case 3: g = rtl::make_barrel_shifter(8); break;
+    case 4: g = rtl::make_hamming_encoder(3); break;
+    default: g = rtl::make_debouncer(4); break;
+  }
+  const auto report = graph::validate(g);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(g, rtl::from_verilog(rtl::to_verilog(g)));
+  rtl::Simulator sim(g);
+  util::Rng rng(7);
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    std::vector<std::uint64_t> in(sim.num_inputs());
+    for (auto& v : in) v = rng.next();
+    EXPECT_EQ(sim.step(in).size(), sim.num_outputs());
+  }
+  const auto stats = synth::synthesize_stats(g);
+  EXPECT_GE(stats.scpr(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNew, NewGeneratorTest, ::testing::Range(0, 6));
+
+TEST(NewGenerators, GrayCodeChangesOneBitPerStep) {
+  rtl::Simulator sim(rtl::make_gray_counter(5));
+  std::uint64_t prev = sim.step({1})[0];
+  // Skip the first transitions while the pipeline warms up.
+  sim.step({1});
+  prev = sim.step({1})[0];
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t cur = sim.step({1})[0];
+    const auto flips = __builtin_popcountll(prev ^ cur);
+    EXPECT_LE(flips, 1) << "gray violation at step " << i;
+    prev = cur;
+  }
+}
+
+TEST(NewGenerators, BarrelShifterShifts) {
+  rtl::Simulator sim(rtl::make_barrel_shifter(8));
+  sim.step({0x01, 3});
+  const auto out = sim.step({0x01, 3});
+  EXPECT_EQ(out[0], 0x08u);
+}
+
+TEST(ScaleFree, RecoversKnownExponent) {
+  // Samples drawn from P(x) ~ x^-2.5 via inverse CDF.
+  util::Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) {
+    samples.push_back(std::pow(1.0 - rng.uniform(), -1.0 / 1.5));
+  }
+  const auto fit = stats::fit_power_law(samples, 1.0);
+  EXPECT_NEAR(fit.alpha, 2.5, 0.15);
+  EXPECT_LT(fit.ks_distance, 0.05);
+}
+
+TEST(ScaleFree, CorpusDegreesAreHeavyTailed) {
+  // Real circuits are scale-free-ish: exponent in a plausible band.
+  auto corpus = rtl::make_corpus({.seed = 1});
+  const auto fit = stats::degree_power_law(corpus.back().graph);
+  EXPECT_GT(fit.alpha, 1.2);
+  EXPECT_LT(fit.alpha, 8.0);  // small designs fit steep but finite tails
+  EXPECT_GT(fit.tail_samples, 10u);
+}
+
+TEST(CriticalPath, WorstPathMatchesWns) {
+  const auto result = synth::synthesize(rtl::make_alu(10));
+  const sta::TimingOptions options{.clock_period_ns = 0.6};
+  const auto report = sta::analyze(result.netlist, options);
+  const auto paths = sta::worst_paths(result.netlist, options, 3);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_NEAR(paths.front().slack_ns, report.wns, 1e-9);
+  // Paths are sorted by slack and non-empty.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].slack_ns, paths[i - 1].slack_ns);
+  }
+  for (const auto& p : paths) {
+    EXPECT_FALSE(p.nodes.empty());
+    // Arrival times must be monotone along the traced path.
+    for (std::size_t k = 1; k < p.nodes.size(); ++k) {
+      EXPECT_GE(p.nodes[k].arrival_ns, p.nodes[k - 1].arrival_ns - 1e-9);
+    }
+  }
+  EXPECT_FALSE(sta::render_path(paths.front()).empty());
+}
+
+}  // namespace
+}  // namespace syn

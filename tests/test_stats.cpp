@@ -1,0 +1,180 @@
+// Tests for the structural-statistics suite (Table II metrics) and the
+// Wasserstein/histogram utilities.
+#include <gtest/gtest.h>
+
+#include "graph/dcg.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/generators.hpp"
+#include "stats/metrics.hpp"
+#include "util/histogram.hpp"
+
+namespace syn::stats {
+namespace {
+
+using graph::Graph;
+using graph::NodeType;
+using rtl::Builder;
+
+/// K4: complete directed graph on 4 nodes (as far as slots allow).
+Graph triangle_graph() {
+  // 3 two-input nodes wired pairwise through a register to stay valid is
+  // overkill here: stats functions do not require validity, so build the
+  // shape directly.
+  Graph g("tri");
+  const auto a = g.add_node(NodeType::kAnd, 1);
+  const auto b = g.add_node(NodeType::kAnd, 1);
+  const auto c = g.add_node(NodeType::kAnd, 1);
+  g.set_fanin(b, 0, a);
+  g.set_fanin(c, 0, b);
+  g.set_fanin(c, 1, a);
+  return g;
+}
+
+TEST(Wasserstein, IdenticalDistributionsZero) {
+  const std::vector<double> a{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(util::wasserstein1(a, a), 0.0);
+}
+
+TEST(Wasserstein, ShiftEqualsDistance) {
+  const std::vector<double> a{0, 0, 0};
+  const std::vector<double> b{2, 2, 2};
+  EXPECT_DOUBLE_EQ(util::wasserstein1(a, b), 2.0);
+}
+
+TEST(Wasserstein, HandlesUnequalSampleSizes) {
+  const std::vector<double> a{0.0, 1.0};
+  const std::vector<double> b{0.0, 0.5, 1.0};
+  // W1 between these empirical CDFs is 1/6.
+  EXPECT_NEAR(util::wasserstein1(a, b), 1.0 / 6.0, 1e-9);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  util::Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps into bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(100.0);  // clamps into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Metrics, OutDegreeSamples) {
+  const Graph g = triangle_graph();
+  const auto d = out_degree_samples(g);
+  // a drives b and c (2), b drives c (1), c drives nothing (0).
+  EXPECT_EQ(d, (std::vector<double>{2, 1, 0}));
+}
+
+TEST(Metrics, TriangleCountOnKnownShapes) {
+  EXPECT_DOUBLE_EQ(triangle_count(triangle_graph()), 1.0);
+  // A pure chain has no triangle.
+  Graph chain("c");
+  const auto x = chain.add_node(NodeType::kNot, 1);
+  const auto y = chain.add_node(NodeType::kNot, 1);
+  const auto z = chain.add_node(NodeType::kNot, 1);
+  chain.set_fanin(y, 0, x);
+  chain.set_fanin(z, 0, y);
+  EXPECT_DOUBLE_EQ(triangle_count(chain), 0.0);
+}
+
+TEST(Metrics, ClusteringCoefficientOfTriangle) {
+  const auto c = clustering_samples(triangle_graph());
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Metrics, OrbitCountsMatchBruteForceOnSmallGraph) {
+  const Graph g = rtl::make_counter(4);
+  const auto orbits = orbit_samples(g);
+  // Brute force: enumerate all 4-subsets, keep connected ones.
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (const auto& [a, b] : g.edges()) {
+    adj[a][b] = adj[b][a] = true;
+  }
+  std::vector<double> expected(n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        for (std::size_t d = c + 1; d < n; ++d) {
+          const std::size_t ids[4] = {a, b, c, d};
+          // connectivity of the induced subgraph via tiny DFS
+          bool seen[4] = {true, false, false, false};
+          bool grew = true;
+          while (grew) {
+            grew = false;
+            for (int u = 0; u < 4; ++u) {
+              if (!seen[u]) continue;
+              for (int v = 0; v < 4; ++v) {
+                if (!seen[v] && adj[ids[u]][ids[v]]) {
+                  seen[v] = true;
+                  grew = true;
+                }
+              }
+            }
+          }
+          if (seen[0] && seen[1] && seen[2] && seen[3]) {
+            for (auto id : ids) expected[id] += 1.0;
+          }
+        }
+      }
+    }
+  }
+  ASSERT_EQ(orbits.size(), expected.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(orbits[i], expected[i]) << "node " << i;
+  }
+}
+
+TEST(Metrics, HomophilyHigherForTypeClusteredGraph) {
+  // Graph A: edges connect same-type nodes; Graph B: edges cross types.
+  Graph clustered("a");
+  for (int i = 0; i < 4; ++i) clustered.add_node(NodeType::kAnd, 1);
+  for (int i = 0; i < 4; ++i) clustered.add_node(NodeType::kOr, 1);
+  clustered.set_fanin(1, 0, 0);
+  clustered.set_fanin(2, 0, 1);
+  clustered.set_fanin(3, 0, 2);
+  clustered.set_fanin(5, 0, 4);
+  clustered.set_fanin(6, 0, 5);
+  clustered.set_fanin(7, 0, 6);
+
+  Graph crossed("b");
+  for (int i = 0; i < 4; ++i) {
+    crossed.add_node(NodeType::kAnd, 1);
+    crossed.add_node(NodeType::kOr, 1);
+  }
+  crossed.set_fanin(1, 0, 0);
+  crossed.set_fanin(2, 0, 1);
+  crossed.set_fanin(3, 0, 2);
+  crossed.set_fanin(4, 0, 3);
+  crossed.set_fanin(5, 0, 4);
+  crossed.set_fanin(6, 0, 5);
+  crossed.set_fanin(7, 0, 6);
+
+  EXPECT_GT(homophily(clustered, false), homophily(crossed, false));
+}
+
+TEST(Metrics, CompareStructureSelfSimilarityIsNearPerfect) {
+  const Graph g = rtl::make_fifo_ctrl(4);
+  const auto cmp = compare_structure(g, {g});
+  EXPECT_NEAR(cmp.w1_out_degree, 0.0, 1e-9);
+  EXPECT_NEAR(cmp.w1_cluster, 0.0, 1e-9);
+  EXPECT_NEAR(cmp.w1_orbit, 0.0, 1e-9);
+  EXPECT_NEAR(cmp.ratio_triangle, 1.0, 1e-9);
+  EXPECT_NEAR(cmp.ratio_h1, 1.0, 1e-9);
+  EXPECT_NEAR(cmp.ratio_h2, 1.0, 1e-9);
+}
+
+TEST(Metrics, CompareStructureDetectsDissimilarity) {
+  const Graph real = rtl::make_fifo_ctrl(4);
+  // A long chain looks nothing like a FIFO controller.
+  Builder b("chain");
+  auto prev = b.input(1);
+  for (int i = 0; i < 40; ++i) prev = b.not_(prev);
+  b.output(prev);
+  const auto cmp = compare_structure(real, {b.take()});
+  EXPECT_GT(cmp.w1_out_degree + cmp.w1_cluster + cmp.w1_orbit, 0.1);
+}
+
+}  // namespace
+}  // namespace syn::stats

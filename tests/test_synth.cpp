@@ -1,0 +1,280 @@
+// Tests for bit-blasting, optimization passes and the synthesis driver.
+//
+// A reference two-valued simulator cross-checks that optimization
+// preserves functional behaviour — the property the whole SCPR/PCS story
+// rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/validity.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/generators.hpp"
+#include "synth/bitblast.hpp"
+#include "synth/passes.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/rng.hpp"
+
+namespace syn::synth {
+namespace {
+
+using graph::Graph;
+using rtl::Builder;
+
+/// Cycle-accurate two-valued netlist simulator (reference model for tests).
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl) : nl_(nl), value_(nl.size(), false) {}
+
+  /// Runs one clock cycle with the given primary-input bits (in gate-id
+  /// order); returns primary-output bits (in gate-id order).
+  std::vector<bool> step(const std::vector<bool>& inputs) {
+    // Latch previous D values into DFFs first.
+    std::vector<bool> next = value_;
+    for (GateId g = 0; g < nl_.size(); ++g) {
+      if (nl_.kind(g) == GateKind::kDff) next[g] = eval_comb(nl_.gate(g).in[0]);
+    }
+    value_ = std::move(next);
+    // Apply inputs.
+    std::size_t idx = 0;
+    for (GateId g = 0; g < nl_.size(); ++g) {
+      if (nl_.kind(g) == GateKind::kInput) value_[g] = inputs.at(idx++);
+    }
+    cache_.assign(nl_.size(), kUnknown);
+    std::vector<bool> outs;
+    for (GateId g = 0; g < nl_.size(); ++g) {
+      if (nl_.kind(g) == GateKind::kPo) outs.push_back(eval_comb(nl_.gate(g).in[0]));
+    }
+    return outs;
+  }
+
+  [[nodiscard]] std::size_t num_inputs() const {
+    return nl_.count(GateKind::kInput);
+  }
+
+ private:
+  static constexpr std::int8_t kUnknown = -1;
+
+  bool eval_comb(GateId g) {
+    if (cache_.empty()) cache_.assign(nl_.size(), kUnknown);
+    if (cache_[g] != kUnknown) return cache_[g] == 1;
+    const Gate& gate = nl_.gate(g);
+    bool v = false;
+    switch (gate.kind) {
+      case GateKind::kConst0: v = false; break;
+      case GateKind::kConst1: v = true; break;
+      case GateKind::kInput:
+      case GateKind::kDff: v = value_[g]; break;
+      case GateKind::kInv: v = !eval_comb(gate.in[0]); break;
+      case GateKind::kAnd: v = eval_comb(gate.in[0]) && eval_comb(gate.in[1]); break;
+      case GateKind::kOr: v = eval_comb(gate.in[0]) || eval_comb(gate.in[1]); break;
+      case GateKind::kXor: v = eval_comb(gate.in[0]) != eval_comb(gate.in[1]); break;
+      case GateKind::kMux:
+        v = eval_comb(gate.in[0]) ? eval_comb(gate.in[1]) : eval_comb(gate.in[2]);
+        break;
+      case GateKind::kPo: v = eval_comb(gate.in[0]); break;
+    }
+    cache_[g] = v ? 1 : 0;
+    return v;
+  }
+
+  const Netlist& nl_;
+  std::vector<bool> value_;
+  std::vector<std::int8_t> cache_;
+};
+
+std::vector<bool> random_bits(util::Rng& rng, std::size_t n) {
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = rng.bernoulli(0.5);
+  return bits;
+}
+
+TEST(Bitblast, AdderComputesCorrectSum) {
+  Builder b("add4");
+  const auto x = b.input(4);
+  const auto y = b.input(4);
+  b.output(b.add(x, y));
+  const Netlist nl = bitblast(b.take());
+  Simulator sim(nl);
+  // inputs: x bits then y bits (creation order), LSB first.
+  auto run = [&](unsigned xv, unsigned yv) {
+    std::vector<bool> in;
+    for (int i = 0; i < 4; ++i) in.push_back((xv >> i) & 1);
+    for (int i = 0; i < 4; ++i) in.push_back((yv >> i) & 1);
+    const auto out = sim.step(in);
+    unsigned r = 0;
+    for (int i = 0; i < 4; ++i) r |= static_cast<unsigned>(out[static_cast<std::size_t>(i)]) << i;
+    return r;
+  };
+  EXPECT_EQ(run(3, 5), 8u);
+  EXPECT_EQ(run(9, 9), (9u + 9u) & 0xF);
+  EXPECT_EQ(run(15, 1), 0u);
+}
+
+TEST(Bitblast, MultiplierAndSubtractorMatchReference) {
+  Builder b("arith");
+  const auto x = b.input(5);
+  const auto y = b.input(5);
+  b.output(b.mul(x, y));
+  b.output(b.sub(x, y));
+  const Netlist nl = bitblast(b.take());
+  Simulator sim(nl);
+  util::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned xv = static_cast<unsigned>(rng.uniform_int(32));
+    const unsigned yv = static_cast<unsigned>(rng.uniform_int(32));
+    std::vector<bool> in;
+    for (int i = 0; i < 5; ++i) in.push_back((xv >> i) & 1);
+    for (int i = 0; i < 5; ++i) in.push_back((yv >> i) & 1);
+    const auto out = sim.step(in);
+    unsigned mul = 0, sub = 0;
+    for (int i = 0; i < 5; ++i) {
+      mul |= static_cast<unsigned>(out[static_cast<std::size_t>(i)]) << i;
+      sub |= static_cast<unsigned>(out[static_cast<std::size_t>(5 + i)]) << i;
+    }
+    EXPECT_EQ(mul, (xv * yv) & 31u);
+    EXPECT_EQ(sub, (xv - yv) & 31u);
+  }
+}
+
+TEST(Bitblast, ComparatorsMatchReference) {
+  Builder b("cmp");
+  const auto x = b.input(6);
+  const auto y = b.input(6);
+  b.output(b.eq(x, y));
+  b.output(b.lt(x, y));
+  const Netlist nl = bitblast(b.take());
+  Simulator sim(nl);
+  util::Rng rng(12);
+  for (int trial = 0; trial < 60; ++trial) {
+    const unsigned xv = static_cast<unsigned>(rng.uniform_int(64));
+    const unsigned yv = static_cast<unsigned>(rng.uniform_int(64));
+    std::vector<bool> in;
+    for (int i = 0; i < 6; ++i) in.push_back((xv >> i) & 1);
+    for (int i = 0; i < 6; ++i) in.push_back((yv >> i) & 1);
+    const auto out = sim.step(in);
+    EXPECT_EQ(out[0], xv == yv);
+    EXPECT_EQ(out[1], xv < yv);
+  }
+}
+
+TEST(Bitblast, RejectsIncompleteGraph) {
+  Graph g("bad");
+  g.add_node(graph::NodeType::kNot, 1);
+  EXPECT_THROW(bitblast(g), std::invalid_argument);
+}
+
+TEST(Passes, ConstantsFoldThroughLogic) {
+  Builder b("fold");
+  const auto one = b.constant(1, 1);
+  const auto zero = b.constant(1, 0);
+  const auto x = b.input(1);
+  // (x & 0) | (1 ^ 0) == 1 regardless of x.
+  b.output(b.or_(b.and_(x, zero), b.xor_(one, zero)));
+  const auto opt = optimize(bitblast(b.take()));
+  EXPECT_EQ(comb_cells(opt.netlist), 0u);
+}
+
+TEST(Passes, StructuralHashingMergesDuplicates) {
+  Builder b("dup");
+  const auto x = b.input(1);
+  const auto y = b.input(1);
+  const auto a1 = b.and_(x, y);
+  const auto a2 = b.and_(y, x);  // commutative duplicate
+  b.output(b.xor_(a1, a2));      // xor of identical signals == 0
+  const auto opt = optimize(bitblast(b.take()));
+  EXPECT_EQ(comb_cells(opt.netlist), 0u);
+}
+
+TEST(Passes, ConstantRegisterChainCollapses) {
+  Builder b("cchain");
+  const auto k = b.constant(1, 1);
+  const auto r1 = b.reg(1);
+  const auto r2 = b.reg(1);
+  b.drive_reg(r1, k);
+  b.drive_reg(r2, r1);
+  b.output(r2);
+  const auto opt = optimize(bitblast(b.take()));
+  EXPECT_EQ(opt.netlist.num_dffs(), 0u);
+}
+
+TEST(Passes, SelfLoopRegisterRemoved) {
+  Builder b("selfloop");
+  const auto r = b.reg(1);
+  b.drive_reg(r, r);
+  const auto x = b.input(1);
+  b.output(b.and_(x, r));
+  const auto opt = optimize(bitblast(b.take()));
+  EXPECT_EQ(opt.netlist.num_dffs(), 0u);
+}
+
+TEST(Passes, UnobservableLogicSwept) {
+  Builder b("dead");
+  const auto x = b.input(8);
+  const auto live = b.not_(x);
+  const auto r_dead = b.reg(8);
+  b.drive_reg(r_dead, b.mul(x, x));  // big dead cone
+  b.output(live);
+  const auto opt = optimize(bitblast(b.take()));
+  EXPECT_EQ(opt.netlist.num_dffs(), 0u);
+  EXPECT_EQ(comb_cells(opt.netlist), 8u);  // just the 8 inverters
+}
+
+TEST(Passes, ObservableRegisterSurvives) {
+  const Graph g = rtl::make_counter(8, "cnt");
+  const auto result = synthesize(g);
+  // Counter state is observable: all 8 bits + wrap flag survive.
+  EXPECT_GE(result.stats.seq_cells, 8u);
+  EXPECT_GT(result.stats.area, 0.0);
+}
+
+/// Functional equivalence: optimized netlist behaves like the raw netlist
+/// on random stimulus over multiple cycles. DFF initial values are
+/// all-zero in both, and optimized DFF removal (const / self-loop) assumes
+/// reset-free X-propagation; the generator designs avoid that ambiguity by
+/// keeping registers observably driven.
+class EquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalenceTest, OptimizePreservesBehaviour) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Graph g;
+  switch (GetParam() % 4) {
+    case 0: g = rtl::make_counter(6); break;
+    case 1: g = rtl::make_fifo_ctrl(3); break;
+    case 2: g = rtl::make_alu(5); break;
+    default: g = rtl::make_fsm(2, 3); break;
+  }
+  const Netlist raw = bitblast(g);
+  const Netlist opt = optimize(raw).netlist;
+  ASSERT_EQ(raw.num_pos(), opt.num_pos());
+  Simulator sim_raw(raw);
+  Simulator sim_opt(opt);
+  ASSERT_EQ(sim_raw.num_inputs(), sim_opt.num_inputs());
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const auto in = random_bits(rng, sim_raw.num_inputs());
+    EXPECT_EQ(sim_raw.step(in), sim_opt.step(in)) << "cycle " << cycle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStimulus, EquivalenceTest,
+                         ::testing::Range(0, 12));
+
+TEST(Synthesizer, RealisticCorpusHasHighScpr) {
+  // The paper reports SCPR between 70% and 100% for real designs; our
+  // corpus must reproduce that signature.
+  for (const auto& d : rtl::make_corpus({.seed = 5})) {
+    const auto stats = synthesize_stats(d.graph);
+    EXPECT_GE(stats.scpr(), 0.7) << d.graph.name();
+    EXPECT_LE(stats.scpr(), 1.0) << d.graph.name();
+  }
+}
+
+TEST(Synthesizer, StatsAreInternallyConsistent) {
+  const auto result = synthesize(rtl::make_alu(8));
+  EXPECT_EQ(result.stats.seq_cells, result.netlist.num_dffs());
+  EXPECT_DOUBLE_EQ(result.stats.area, total_area(result.netlist));
+  EXPECT_GT(result.stats.gates_elaborated, result.stats.gates_final);
+}
+
+}  // namespace
+}  // namespace syn::synth

@@ -1,0 +1,205 @@
+// Tests for the utility layer: RNG statistical sanity and determinism,
+// table formatting, summaries.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace syn::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng child1 = parent.fork(3);
+  parent.next();
+  // fork() depends only on parent state at fork time; consume after fork
+  // must not matter for a fork taken earlier.
+  Rng parent2(7);
+  Rng child2 = parent2.fork(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.uniform();
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LT(hi, 1.0);
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(12);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(14);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(15);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 8000; ++i) {
+    const auto idx = rng.weighted_index(weights);
+    ASSERT_LT(idx, 3u);
+    ++counts[idx];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, WeightedIndexZeroTotalSignalsFailure) {
+  Rng rng(16);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), weights.size());
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(17);
+  const auto sample = rng.sample_without_replacement(20, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  EXPECT_EQ(std::set<std::size_t>(sample.begin(), sample.end()).size(), 8u);
+  // Requesting more than available truncates.
+  EXPECT_EQ(rng.sample_without_replacement(3, 10).size(), 3u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(18);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Table, AlignsAndPads) {
+  Table t({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  t.add_row({"z"});  // short row padded
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| xx | y    |"), std::string::npos);
+  EXPECT_NE(s.find("| z  |      |"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_pct(0.25), "25%");
+  EXPECT_EQ(fmt_sig(0.000123, 2), "0.00012");
+  EXPECT_EQ(fmt_sig(std::numeric_limits<double>::quiet_NaN()), "NA");
+}
+
+TEST(Summary, QuartilesOfKnownSample) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Summary, EmptySampleIsAllZero) {
+  const auto s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(3.5);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find(" 1"), std::string::npos);
+  EXPECT_NE(s.find(" 2"), std::string::npos);
+}
+
+/// Property sweep: W1 is a metric (symmetry, identity, triangle-ish).
+class WassersteinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WassersteinProperty, SymmetricAndNonNegative) {
+  Rng rng(GetParam());
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) a.push_back(rng.gaussian());
+  for (int i = 0; i < 25; ++i) b.push_back(rng.gaussian(1.0, 2.0));
+  const double ab = wasserstein1(a, b);
+  const double ba = wasserstein1(b, a);
+  EXPECT_NEAR(ab, ba, 1e-12);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_NEAR(wasserstein1(a, a), 0.0, 1e-12);
+}
+
+TEST_P(WassersteinProperty, TranslationCovariance) {
+  Rng rng(GetParam() ^ 0x55);
+  std::vector<double> a, shifted;
+  for (int i = 0; i < 30; ++i) {
+    const double v = rng.uniform(-1, 1);
+    a.push_back(v);
+    shifted.push_back(v + 1.5);
+  }
+  EXPECT_NEAR(wasserstein1(a, shifted), 1.5, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WassersteinProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace syn::util
