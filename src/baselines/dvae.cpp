@@ -1,6 +1,9 @@
 #include "baselines/dvae.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
 
 #include "baselines/ordering.hpp"
 #include "baselines/window_common.hpp"

@@ -7,7 +7,10 @@
 // generation emits forward edges only.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/generator.hpp"
 #include "nn/layers.hpp"

@@ -1,6 +1,12 @@
 #include "baselines/graphmaker.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/postprocess.hpp"
 #include "diffusion/denoiser.hpp"

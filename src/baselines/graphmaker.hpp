@@ -6,7 +6,11 @@
 // orienter, and validity is restored by ordered Phase-2-style repair.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/gravity.hpp"
 #include "core/generator.hpp"

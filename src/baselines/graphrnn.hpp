@@ -9,7 +9,10 @@
 // graphs are acyclic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/generator.hpp"
 #include "nn/layers.hpp"

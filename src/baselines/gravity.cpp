@@ -1,6 +1,9 @@
 #include "baselines/gravity.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace syn::baselines {
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "graph/adjacency.hpp"
 #include "graph/dcg.hpp"

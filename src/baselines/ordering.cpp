@@ -1,7 +1,9 @@
 #include "baselines/ordering.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 

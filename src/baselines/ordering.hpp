@@ -7,6 +7,7 @@
 // generation order for attribute sets (sources first, outputs last).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "graph/adjacency.hpp"

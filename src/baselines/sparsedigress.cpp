@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/postprocess.hpp"
 #include "nn/optim.hpp"

@@ -8,7 +8,11 @@
 // adaptation pipeline the paper describes.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/gravity.hpp"
 #include "core/generator.hpp"

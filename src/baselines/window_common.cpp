@@ -1,6 +1,12 @@
 #include "baselines/window_common.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/ordering.hpp"
 #include "graph/node_type.hpp"

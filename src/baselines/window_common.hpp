@@ -3,6 +3,9 @@
 // encoding.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/adjacency.hpp"

@@ -1,6 +1,9 @@
 #include "core/generator.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace syn::core {
 

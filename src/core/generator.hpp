@@ -2,7 +2,10 @@
 // four baselines), so the evaluation harness treats them uniformly.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/adjacency.hpp"

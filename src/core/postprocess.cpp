@@ -1,7 +1,11 @@
 #include "core/postprocess.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "graph/node_type.hpp"

@@ -8,6 +8,8 @@
 // a combinational loop against the partially built graph.
 #pragma once
 
+#include <cstddef>
+
 #include "graph/adjacency.hpp"
 #include "graph/dcg.hpp"
 #include "nn/matrix.hpp"

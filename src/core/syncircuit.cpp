@@ -1,7 +1,11 @@
 #include "core/syncircuit.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/validity.hpp"
 

@@ -9,8 +9,11 @@
 //            "SynCircuit w/o opt" ablation of Table III).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/generator.hpp"
 #include "core/postprocess.hpp"

@@ -1,6 +1,11 @@
 #include "diffusion/denoiser.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace syn::diffusion {
 

@@ -14,6 +14,7 @@
 // ablation bench.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

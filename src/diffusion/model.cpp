@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "graph/adjacency.hpp"
 #include "nn/optim.hpp"

@@ -7,6 +7,8 @@
 // Phase 2 consumes.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 

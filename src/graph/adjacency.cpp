@@ -1,5 +1,10 @@
 #include "graph/adjacency.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
 namespace syn::graph {
 
 AdjacencyMatrix to_adjacency(const Graph& g) {

@@ -6,7 +6,9 @@
 // Phase 2 reassigns slots when repairing fan-ins.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/dcg.hpp"

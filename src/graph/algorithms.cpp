@@ -1,7 +1,12 @@
 #include "graph/algorithms.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <stack>
+#include <utility>
+#include <vector>
 
 namespace syn::graph {
 

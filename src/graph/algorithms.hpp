@@ -4,6 +4,8 @@
 // observability for the register sweep.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 

@@ -1,7 +1,11 @@
 #include "graph/dcg.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace syn::graph {
 

@@ -8,6 +8,7 @@
 // under construction or mid-repair in Phase 2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>

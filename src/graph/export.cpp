@@ -1,8 +1,12 @@
 #include "graph/export.hpp"
 
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace syn::graph {
 

@@ -1,5 +1,7 @@
 #include "graph/node_type.hpp"
 
+#include <string_view>
+
 namespace syn::graph {
 
 bool parse_type_name(std::string_view name, NodeType& out) {

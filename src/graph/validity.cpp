@@ -1,5 +1,7 @@
 #include "graph/validity.hpp"
 
+#include <string>
+
 #include "graph/algorithms.hpp"
 
 namespace syn::graph {

@@ -7,6 +7,8 @@
 // bit-blast + optimize to a graph sweep.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 

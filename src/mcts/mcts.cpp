@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "graph/algorithms.hpp"

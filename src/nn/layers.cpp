@@ -1,6 +1,8 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 namespace syn::nn {
 

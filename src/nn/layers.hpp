@@ -1,6 +1,7 @@
 // Standard layers built on the autograd tensor: Linear, MLP, GRU cell.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

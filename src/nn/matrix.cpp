@@ -1,5 +1,7 @@
 #include "nn/matrix.hpp"
 
+#include <cstddef>
+
 namespace syn::nn {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {

@@ -1,6 +1,9 @@
 #include "nn/optim.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 namespace syn::nn {
 

@@ -1,8 +1,14 @@
 #include "nn/tensor.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
+#include <functional>
+#include <memory>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace syn::nn {
 

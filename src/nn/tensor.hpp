@@ -8,6 +8,7 @@
 // losses.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <vector>

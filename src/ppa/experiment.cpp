@@ -1,5 +1,10 @@
 #include "ppa/experiment.hpp"
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "ppa/features.hpp"
 #include "ppa/metrics.hpp"
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "graph/node_type.hpp"

@@ -5,6 +5,8 @@
 // degree and depth statistics — all computable from the RTL graph alone.
 #pragma once
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "graph/dcg.hpp"

@@ -7,6 +7,8 @@
 // of delay-scale settings along the area/delay Pareto frontier.
 #pragma once
 
+#include <vector>
+
 #include "graph/dcg.hpp"
 
 namespace syn::ppa {

@@ -1,8 +1,10 @@
 #include "ppa/metrics.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace syn::ppa {
 

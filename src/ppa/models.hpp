@@ -3,6 +3,7 @@
 // predictors use).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>

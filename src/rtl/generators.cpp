@@ -1,7 +1,12 @@
 #include "rtl/generators.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "rtl/builder.hpp"
 

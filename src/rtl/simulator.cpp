@@ -1,6 +1,10 @@
 #include "rtl/simulator.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "graph/validity.hpp"

@@ -7,6 +7,7 @@
 // equivalence check.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

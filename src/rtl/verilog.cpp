@@ -1,8 +1,14 @@
 #include "rtl/verilog.hpp"
 
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "graph/node_type.hpp"
 

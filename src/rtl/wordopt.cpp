@@ -1,6 +1,10 @@
 #include "rtl/wordopt.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 

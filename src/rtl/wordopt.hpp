@@ -7,6 +7,7 @@
 // of a design will survive synthesis.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "graph/dcg.hpp"

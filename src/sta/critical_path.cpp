@@ -1,7 +1,11 @@
 #include "sta/critical_path.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace syn::sta {
 

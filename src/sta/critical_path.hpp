@@ -3,6 +3,7 @@
 // Fig 5 analysis to show *where* the slack is lost.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,7 +1,9 @@
 #include "sta/sta.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace syn::sta {
 

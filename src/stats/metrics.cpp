@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "util/histogram.hpp"

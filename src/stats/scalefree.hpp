@@ -4,6 +4,7 @@
 // checked for the signature the paper highlights.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "graph/dcg.hpp"

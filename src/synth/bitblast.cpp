@@ -1,6 +1,10 @@
 #include "synth/bitblast.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "graph/node_type.hpp"
 

@@ -1,7 +1,9 @@
 #include "synth/passes.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace syn::synth {

@@ -8,6 +8,8 @@
 // the swept netlist is the numerator of SCPR (paper §VI).
 #pragma once
 
+#include <cstddef>
+
 #include "synth/netlist.hpp"
 
 namespace syn::synth {

@@ -1,5 +1,7 @@
 #include "synth/synthesizer.hpp"
 
+#include <utility>
+
 #include "synth/bitblast.hpp"
 #include "synth/passes.hpp"
 

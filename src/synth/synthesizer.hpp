@@ -6,6 +6,8 @@
 // netlist the timing engine consumes (Fig 5, Table III labels).
 #pragma once
 
+#include <cstddef>
+
 #include "graph/dcg.hpp"
 #include "synth/netlist.hpp"
 

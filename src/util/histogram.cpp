@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <span>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace syn::util {
 

@@ -1,6 +1,10 @@
 #include "util/rng.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 namespace syn::util {
 

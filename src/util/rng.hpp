@@ -7,10 +7,11 @@
 // header-light.
 #pragma once
 
-#include <cstdint>
-#include <cstddef>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace syn::util {

@@ -5,6 +5,7 @@
 // logic in one place.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
