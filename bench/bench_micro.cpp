@@ -3,10 +3,17 @@
 // the MCTS swap/reward loop and Phase 2 repair.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "core/postprocess.hpp"
 #include "core/generator.hpp"
 #include "diffusion/denoiser.hpp"
 #include "graph/adjacency.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/node_type.hpp"
 #include "mcts/discriminator.hpp"
 #include "mcts/mcts.hpp"
 #include "rtl/generators.hpp"
@@ -14,6 +21,7 @@
 #include "synth/bitblast.hpp"
 #include "synth/passes.hpp"
 #include "synth/synthesizer.hpp"
+#include "tests/support/fixtures.hpp"
 
 namespace {
 
@@ -127,5 +135,64 @@ void BM_PcsFeatures(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PcsFeatures);
+
+using testsupport::observability_reward;
+using testsupport::redundant_circuit;
+
+/// Root-parallel Phase 3 scaling: Arg = executor threads; the work
+/// decomposition (8 trees, fixed budget) is thread-invariant, so this
+/// measures pure executor scaling on a fixed search. Real time, since
+/// the work happens on pool workers.
+void BM_MctsOptimizeRegisters(benchmark::State& state) {
+  const auto start = redundant_circuit(48, 7);
+  mcts::MctsConfig cfg;
+  cfg.simulations = 160;
+  cfg.max_depth = 8;
+  cfg.actions_per_state = 10;
+  cfg.max_registers = 4;
+  cfg.passes = 1;
+  cfg.root_trees = 8;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(11);
+    benchmark::DoNotOptimize(
+        mcts::optimize_registers(start, cfg, observability_reward, rng));
+  }
+}
+BENCHMARK(BM_MctsOptimizeRegisters)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
+
+const mcts::PcsDiscriminator& fitted_discriminator() {
+  static const mcts::PcsDiscriminator* disc = [] {
+    auto* d = new mcts::PcsDiscriminator(7);
+    d->fit(rtl::corpus_graphs({.seed = 1}), 100);
+    return d;
+  }();
+  return *disc;
+}
+
+/// Batched discriminator reward: Arg = batch size (1 = the scalar
+/// per-graph path). items_per_second is the comparable number.
+void BM_DiscriminatorScore(benchmark::State& state) {
+  const auto& disc = fitted_discriminator();
+  std::vector<graph::Graph> batch;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    batch.push_back(redundant_circuit(48, 20 + s));
+  }
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    if (chunk <= 1) {
+      for (const auto& g : batch) benchmark::DoNotOptimize(disc.predict(g));
+    } else {
+      for (std::size_t lo = 0; lo < batch.size(); lo += chunk) {
+        const std::size_t n = std::min(chunk, batch.size() - lo);
+        benchmark::DoNotOptimize(
+            disc.score_batch({batch.data() + lo, n}));
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_DiscriminatorScore)->Arg(1)->Arg(8)->Arg(32);
 
 }  // namespace

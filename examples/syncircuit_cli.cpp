@@ -2,15 +2,20 @@
 // user scripting dataset generation would drive.
 //
 //   syncircuit_cli gen   [count] [nodes] [seed]   generate Verilog designs
+//       [--threads=N]      MCTS executor width (output is N-invariant)
+//       [--trees=N]        root-parallel trees per cone (affects output)
+//       [--reward-batch=N] graphs per discriminator forward pass
 //   syncircuit_cli stats <file.v>                 structural statistics
 //   syncircuit_cli synth <file.v>                 synthesis + timing report
 //   syncircuit_cli dot   <file.v>                 Graphviz DOT to stdout
 //   syncircuit_cli corpus                         dump the built-in corpus
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/syncircuit.hpp"
 #include "graph/export.hpp"
@@ -35,7 +40,15 @@ graph::Graph load_verilog(const std::string& path) {
   return rtl::from_verilog(buffer.str());
 }
 
-int cmd_gen(int count, std::size_t nodes, std::uint64_t seed) {
+struct GenOptions {
+  int threads = 1;       // executor width only — never changes the output
+  int trees = 8;         // root-parallel trees (fixed: output is stable
+                         // whatever --threads is)
+  int reward_batch = 16;  // discriminator graphs per forward pass
+};
+
+int cmd_gen(int count, std::size_t nodes, std::uint64_t seed,
+            const GenOptions& opts) {
   std::cout << "training SynCircuit on the built-in corpus...\n";
   core::SynCircuitConfig config;
   config.diffusion.steps = 6;
@@ -43,6 +56,9 @@ int cmd_gen(int count, std::size_t nodes, std::uint64_t seed) {
   config.diffusion.epochs = 10;
   config.mcts = {.simulations = 60, .max_depth = 10, .actions_per_state = 10,
                  .max_registers = 8};
+  config.mcts.root_trees = opts.trees;
+  config.mcts.threads = opts.threads;
+  config.mcts.reward_batch = opts.reward_batch;
   config.seed = seed;
   core::SynCircuitGenerator gen(config);
   gen.fit(rtl::corpus_graphs({.seed = 1}));
@@ -117,12 +133,31 @@ int main(int argc, char** argv) {
   const std::string cmd = argc > 1 ? argv[1] : "corpus";
   try {
     if (cmd == "gen") {
-      const int count = argc > 2 ? std::atoi(argv[2]) : 3;
+      GenOptions opts;
+      std::vector<std::string> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--threads=", 0) == 0) {
+          opts.threads = std::atoi(arg.c_str() + 10);
+        } else if (arg.rfind("--trees=", 0) == 0) {
+          opts.trees = std::atoi(arg.c_str() + 8);
+        } else if (arg.rfind("--reward-batch=", 0) == 0) {
+          opts.reward_batch = std::atoi(arg.c_str() + 15);
+        } else {
+          positional.push_back(arg);
+        }
+      }
+      const int count = !positional.empty() ? std::atoi(positional[0].c_str())
+                                            : 3;
       const std::size_t nodes =
-          argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 60;
+          positional.size() > 1
+              ? static_cast<std::size_t>(std::atoi(positional[1].c_str()))
+              : 60;
       const std::uint64_t seed =
-          argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
-      return cmd_gen(count, nodes, seed);
+          positional.size() > 2
+              ? static_cast<std::uint64_t>(std::atoll(positional[2].c_str()))
+              : 1;
+      return cmd_gen(count, nodes, seed, opts);
     }
     if (cmd == "stats" && argc > 2) return cmd_stats(argv[2]);
     if (cmd == "synth" && argc > 2) return cmd_synth(argv[2]);
@@ -132,7 +167,8 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  std::cerr << "usage: syncircuit_cli gen [count] [nodes] [seed]\n"
+  std::cerr << "usage: syncircuit_cli gen [count] [nodes] [seed]"
+               " [--threads=N] [--trees=N] [--reward-batch=N]\n"
                "       syncircuit_cli stats|synth|dot <file.v>\n"
                "       syncircuit_cli corpus\n";
   return 1;

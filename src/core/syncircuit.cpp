@@ -80,11 +80,14 @@ void SynCircuitGenerator::fit(const std::vector<Graph>& corpus) {
   fitted_ = true;
 }
 
-mcts::RewardFn SynCircuitGenerator::reward() const {
+mcts::Reward SynCircuitGenerator::reward() const {
   // Hybrid: learned PCS (the paper's synthesis-free discriminator) plus an
-  // exact observability term so single-swap improvements are visible.
-  return config_.use_discriminator ? mcts::hybrid_reward(discriminator_)
-                                   : mcts::exact_pcs_reward();
+  // exact observability term so single-swap improvements are visible. The
+  // discriminator path carries a batched forward so MCTS can score whole
+  // simulations per MLP call (mcts.reward_batch).
+  return config_.use_discriminator
+             ? mcts::hybrid_reward_model(discriminator_)
+             : mcts::Reward(mcts::exact_pcs_reward());
 }
 
 SynCircuitGenerator::Phases SynCircuitGenerator::run_phases(

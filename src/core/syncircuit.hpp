@@ -72,7 +72,7 @@ class SynCircuitGenerator : public GeneratorModel {
   [[nodiscard]] bool fitted() const { return fitted_; }
 
  private:
-  [[nodiscard]] mcts::RewardFn reward() const;
+  [[nodiscard]] mcts::Reward reward() const;
 
   SynCircuitConfig config_;
   util::Rng rng_;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "graph/algorithms.hpp"
@@ -140,6 +142,27 @@ double PcsDiscriminator::predict(const Graph& g) const {
          label_scale_;
 }
 
+std::vector<double> PcsDiscriminator::score_batch(
+    std::span<const Graph> gs) const {
+  if (!fitted_) {
+    throw std::logic_error("PcsDiscriminator::score_batch before fit");
+  }
+  if (gs.empty()) return {};
+  nn::Matrix x(gs.size(), kPcsFeatureDim);
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    const auto f = pcs_features(gs[i]);
+    for (std::size_t j = 0; j < kPcsFeatureDim; ++j) {
+      x.at(i, j) = static_cast<float>((f[j] - mean_[j]) / stddev_[j]);
+    }
+  }
+  const nn::Matrix out = net_.forward(nn::Tensor(x)).value();
+  std::vector<double> scores(gs.size());
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    scores[i] = static_cast<double>(out.at(i, 0)) * label_scale_;
+  }
+  return scores;
+}
+
 RewardFn PcsDiscriminator::as_reward() const {
   if (!fitted_) throw std::logic_error("PcsDiscriminator::as_reward before fit");
   return [this](const Graph& g) { return predict(g); };
@@ -171,6 +194,26 @@ RewardFn hybrid_reward(const PcsDiscriminator& discriminator, double bonus) {
         std::clamp(discriminator.predict(g) / scale, 0.0, 1.0);
     return bonus * observable_register_fraction(g) + learned;
   };
+}
+
+Reward hybrid_reward_model(const PcsDiscriminator& discriminator,
+                           double bonus) {
+  // The batch path must mirror hybrid_reward's arithmetic exactly —
+  // same clamp, same term order — so batched MCTS is bit-identical to
+  // unbatched.
+  RewardFn single = hybrid_reward(discriminator, bonus);
+  const double scale = std::max(discriminator.label_scale(), 1e-9);
+  BatchRewardFn batch = [&discriminator, bonus,
+                         scale](std::span<const Graph> gs) {
+    const std::vector<double> raw = discriminator.score_batch(gs);
+    std::vector<double> out(gs.size());
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      const double learned = std::clamp(raw[i] / scale, 0.0, 1.0);
+      out[i] = bonus * observable_register_fraction(gs[i]) + learned;
+    }
+    return out;
+  };
+  return {std::move(single), std::move(batch)};
 }
 
 }  // namespace syn::mcts

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/dcg.hpp"
@@ -32,6 +33,16 @@ class PcsDiscriminator {
   void fit(const std::vector<graph::Graph>& samples, int epochs = 300);
 
   [[nodiscard]] double predict(const graph::Graph& g) const;
+
+  /// Batched prediction: one MLP forward over all graphs (one feature row
+  /// each), so the matmul cost amortizes across the batch. Row i of the
+  /// forward pass performs exactly the per-graph `predict` arithmetic
+  /// (matmuls here are row-independent), so `score_batch(gs)[i] ==
+  /// predict(gs[i])` bitwise; mixed graph sizes are fine (features are
+  /// fixed-dimension) and an empty span yields an empty vector.
+  [[nodiscard]] std::vector<double> score_batch(
+      std::span<const graph::Graph> gs) const;
+
   [[nodiscard]] bool fitted() const { return fitted_; }
   /// Largest PCS label seen in training; used to normalize predictions.
   [[nodiscard]] double label_scale() const { return label_scale_; }
@@ -61,5 +72,11 @@ double observable_register_fraction(const graph::Graph& g);
 /// provides and breaks ties between equally-observable states.
 RewardFn hybrid_reward(const PcsDiscriminator& discriminator,
                        double bonus = 10.0);
+
+/// `hybrid_reward` packaged with a batched path built on `score_batch`:
+/// the reward model MCTS uses to score all states of a simulation in one
+/// discriminator forward pass. Scalar and batched paths agree bitwise.
+Reward hybrid_reward_model(const PcsDiscriminator& discriminator,
+                           double bonus = 10.0);
 
 }  // namespace syn::mcts

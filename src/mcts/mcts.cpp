@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <memory>
+#include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -40,6 +44,23 @@ bool apply_swap(Graph& g, const SwapAction& a) {
   g.set_fanin(a.child_a, a.slot_a, pa);
   g.set_fanin(a.child_b, a.slot_b, pb);
   return false;
+}
+
+std::vector<double> Reward::batch(std::span<const Graph> gs,
+                                  int max_batch) const {
+  std::vector<double> out;
+  out.reserve(gs.size());
+  if (batch_ && max_batch > 1) {
+    const auto chunk = static_cast<std::size_t>(max_batch);
+    for (std::size_t lo = 0; lo < gs.size(); lo += chunk) {
+      const std::size_t n = std::min(chunk, gs.size() - lo);
+      const std::vector<double> scores = batch_(gs.subspan(lo, n));
+      out.insert(out.end(), scores.begin(), scores.end());
+    }
+  } else {
+    for (const Graph& g : gs) out.push_back(single_(g));
+  }
+  return out;
 }
 
 namespace {
@@ -101,33 +122,37 @@ void seed_actions(TreeNode& node, const std::vector<NodeId>& cone_pool,
   }
 }
 
-}  // namespace
+struct TreeResult {
+  Graph best_state;
+  double best_reward = 0.0;
+};
 
-std::pair<Graph, double> optimize_cone(const Graph& start, NodeId reg,
-                                       const MctsConfig& config,
-                                       const RewardFn& reward,
-                                       util::Rng& rng) {
-  const std::vector<NodeId> cone = graph::driving_cone(start, reg);
-  const std::vector<NodeId> cone_pool = swap_candidates(start, cone);
-  std::vector<NodeId> all_nodes(start.num_nodes());
-  for (NodeId i = 0; i < start.num_nodes(); ++i) all_nodes[i] = i;
-  const std::vector<NodeId> global_pool = swap_candidates(start, all_nodes);
-
+/// One independent UCB1 tree over the cone. Owns nothing shared: its Rng
+/// and TreeNodes are task-local, and `reward` is only called, never
+/// mutated — which is what makes root parallelism race-free.
+TreeResult run_tree(const Graph& start, double root_reward,
+                    const std::vector<NodeId>& cone_pool,
+                    const std::vector<NodeId>& global_pool,
+                    const MctsConfig& config, int simulations,
+                    const Reward& reward, util::Rng& rng) {
   TreeNode root;
   root.state = start;
-  root.reward = reward(start);
+  root.reward = root_reward;
   seed_actions(root, cone_pool, global_pool, config, rng);
 
-  Graph best_state = start;
-  double best_reward = root.reward;
-  const auto consider = [&](const Graph& g, double r) {
-    if (r > best_reward) {
-      best_reward = r;
-      best_state = g;
+  TreeResult out{start, root_reward};
+  const auto consider = [&out](const Graph& g, double r) {
+    if (r > out.best_reward) {
+      out.best_reward = r;
+      out.best_state = g;
     }
   };
+  // Without a batched reward there is nothing to amortize, so states are
+  // scored in place instead of being copied for deferred scoring. Both
+  // paths see the same (state, score) sequence and agree bit-for-bit.
+  const bool batch_scoring = reward.has_batch() && config.reward_batch > 1;
 
-  for (int sim = 0; sim < config.simulations; ++sim) {
+  for (int sim = 0; sim < simulations; ++sim) {
     // --- selection ---
     std::vector<TreeNode*> path{&root};
     TreeNode* node = &root;
@@ -153,7 +178,8 @@ std::pair<Graph, double> optimize_cone(const Graph& start, NodeId reg,
       path.push_back(node);
       ++depth;
     }
-    // --- expansion ---
+    // --- expansion (reward deferred to the batched evaluation below) ---
+    TreeNode* expanded = nullptr;
     if (depth < config.max_depth && !node->untried.empty()) {
       const SwapAction action = node->untried.back();
       node->untried.pop_back();
@@ -161,18 +187,35 @@ std::pair<Graph, double> optimize_cone(const Graph& start, NodeId reg,
       if (apply_swap(next, action)) {
         auto child = std::make_unique<TreeNode>();
         child->state = std::move(next);
-        child->reward = reward(child->state);
-        consider(child->state, child->reward);
         seed_actions(*child, cone_pool, global_pool, config, rng);
         node->children.push_back(std::move(child));
         node = node->children.back().get();
+        expanded = node;
         path.push_back(node);
         ++depth;
       }
     }
-    // --- simulation (random rollout), tracking the max reward ---
-    double reward_max = node->reward;
-    for (TreeNode* p : path) reward_max = std::max(reward_max, p->reward);
+    // --- simulation (random rollout) ---
+    std::vector<Graph> pending;  // batch path: states copied for scoring
+    if (expanded != nullptr) {
+      if (batch_scoring) {
+        pending.push_back(expanded->state);
+      } else {
+        expanded->reward = reward(expanded->state);
+        consider(expanded->state, expanded->reward);
+      }
+    }
+    // Max over the path, taken only once every path node (including a
+    // just-expanded one) is scored — so a default 0.0 never leaks into
+    // backpropagation. The batch path folds it in after scoring below.
+    const auto path_reward_max = [&path] {
+      double m = -std::numeric_limits<double>::infinity();
+      for (TreeNode* p : path) m = std::max(m, p->reward);
+      return m;
+    };
+    double reward_max =
+        batch_scoring ? -std::numeric_limits<double>::infinity()
+                      : path_reward_max();
     Graph rollout = node->state;
     for (int d = depth;
          d < config.max_depth && !cone_pool.empty() && global_pool.size() >= 2;
@@ -180,9 +223,31 @@ std::pair<Graph, double> optimize_cone(const Graph& start, NodeId reg,
       const SwapAction action =
           random_action(rollout, cone_pool, global_pool, {}, rng);
       if (!apply_swap(rollout, action)) continue;
-      const double r = reward(rollout);
-      consider(rollout, r);
-      reward_max = std::max(reward_max, r);
+      if (batch_scoring) {
+        pending.push_back(rollout);
+      } else {
+        const double r = reward(rollout);
+        consider(rollout, r);
+        reward_max = std::max(reward_max, r);
+      }
+    }
+    if (batch_scoring) {
+      // Rewards are consumed only after every state of this simulation is
+      // generated, so scoring them in one batched call cannot change the
+      // search trajectory — batching is a pure throughput knob.
+      const std::vector<double> scores =
+          reward.batch(pending, config.reward_batch);
+      std::size_t idx = 0;
+      if (expanded != nullptr) {
+        expanded->reward = scores[idx];
+        consider(expanded->state, scores[idx]);
+        ++idx;
+      }
+      reward_max = path_reward_max();
+      for (; idx < scores.size(); ++idx) {
+        consider(pending[idx], scores[idx]);
+        reward_max = std::max(reward_max, scores[idx]);
+      }
     }
     // --- backpropagation with Reward_max (paper §VI-B) ---
     for (TreeNode* p : path) {
@@ -190,11 +255,67 @@ std::pair<Graph, double> optimize_cone(const Graph& start, NodeId reg,
       p->q_sum += reward_max;
     }
   }
-  return {std::move(best_state), best_reward};
+  return out;
+}
+
+}  // namespace
+
+std::pair<Graph, double> optimize_cone(const Graph& start, NodeId reg,
+                                       const MctsConfig& config,
+                                       const Reward& reward, util::Rng& rng,
+                                       util::ThreadPool* pool) {
+  const std::vector<NodeId> cone = graph::driving_cone(start, reg);
+  const std::vector<NodeId> cone_pool = swap_candidates(start, cone);
+  std::vector<NodeId> all_nodes(start.num_nodes());
+  for (NodeId i = 0; i < start.num_nodes(); ++i) all_nodes[i] = i;
+  const std::vector<NodeId> global_pool = swap_candidates(start, all_nodes);
+  const double root_reward = reward(start);
+
+  const int trees = std::max(1, config.root_trees);
+  if (trees == 1) {
+    // Paper-faithful single tree on the caller's RNG stream (the pre-PR-2
+    // code path, bit-for-bit).
+    TreeResult r = run_tree(start, root_reward, cone_pool, global_pool,
+                            config, config.simulations, reward, rng);
+    return {std::move(r.best_state), r.best_reward};
+  }
+
+  // Root parallelism. One draw advances the caller's stream (decorrelating
+  // successive cones); every tree seed splits off it by index, so the
+  // trajectory of tree t depends only on (seed, t) — never on which worker
+  // runs it or how many workers exist.
+  const std::vector<std::uint64_t> seeds =
+      util::split_streams(rng.next(), static_cast<std::size_t>(trees));
+  const int base_sims = config.simulations / trees;
+  const int extra = config.simulations % trees;
+  std::vector<TreeResult> results(static_cast<std::size_t>(trees));
+  const auto run_one = [&](std::size_t t) {
+    util::Rng tree_rng(seeds[t]);
+    const int sims = base_sims + (static_cast<int>(t) < extra ? 1 : 0);
+    results[t] = run_tree(start, root_reward, cone_pool, global_pool, config,
+                          sims, reward, tree_rng);
+  };
+  std::optional<util::ThreadPool> local;
+  if (pool == nullptr && config.threads > 1) {
+    local.emplace(static_cast<std::size_t>(config.threads));
+    pool = &*local;
+  }
+  if (pool != nullptr) {
+    pool->parallel_for(results.size(), run_one);
+  } else {
+    for (std::size_t t = 0; t < results.size(); ++t) run_one(t);
+  }
+  // Merge by max reward; strict '>' keeps the lowest tree index on ties,
+  // so the winner is independent of completion order.
+  std::size_t best = 0;
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    if (results[t].best_reward > results[best].best_reward) best = t;
+  }
+  return {std::move(results[best].best_state), results[best].best_reward};
 }
 
 Graph optimize_registers(const Graph& gval, const MctsConfig& config,
-                         const RewardFn& reward, util::Rng& rng) {
+                         const Reward& reward, util::Rng& rng) {
   // Largest driving cones first: they dominate PCS/SCPR.
   std::vector<std::pair<std::size_t, NodeId>> regs;
   for (NodeId i = 0; i < gval.num_nodes(); ++i) {
@@ -207,10 +328,16 @@ Graph optimize_registers(const Graph& gval, const MctsConfig& config,
       regs.size() > static_cast<std::size_t>(config.max_registers)) {
     regs.resize(static_cast<std::size_t>(config.max_registers));
   }
+  // One pool for the whole run; each cone's trees are its tasks.
+  std::optional<util::ThreadPool> pool;
+  if (config.threads > 1 && config.root_trees > 1) {
+    pool.emplace(static_cast<std::size_t>(config.threads));
+  }
   Graph current = gval;
   for (int pass = 0; pass < std::max(1, config.passes); ++pass) {
     for (const auto& [cone_size, reg] : regs) {
-      auto [next, r] = optimize_cone(current, reg, config, reward, rng);
+      auto [next, r] = optimize_cone(current, reg, config, reward, rng,
+                                     pool ? &*pool : nullptr);
       current = std::move(next);
     }
   }
@@ -218,7 +345,7 @@ Graph optimize_registers(const Graph& gval, const MctsConfig& config,
 }
 
 Graph random_optimize(const Graph& gval, const MctsConfig& config,
-                      const RewardFn& reward, util::Rng& rng) {
+                      const Reward& reward, util::Rng& rng) {
   // Same evaluation budget as the MCTS runs it competes with in Fig 4.
   std::vector<NodeId> all_nodes;
   for (NodeId i = 0; i < gval.num_nodes(); ++i) all_nodes.push_back(i);

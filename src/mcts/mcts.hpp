@@ -9,18 +9,30 @@
 // post-synthesis area per pre-synthesis node — supplied as a callback so
 // the exact synthesis oracle and the learned discriminator are
 // interchangeable.
+//
+// Parallelism (root parallelism): when `root_trees > 1` the simulation
+// budget is split across that many independent trees over the same cone,
+// each with its own RNG stream derived from the caller's generator, and
+// the results merge by max reward with a stable lowest-tree-index
+// tie-break. The decomposition depends only on the config and seed — never
+// on `threads`, which sets only the executor width — so the output is
+// bit-identical for a fixed seed at any thread count.
 #pragma once
 
 #include <functional>
+#include <span>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "graph/dcg.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace syn::mcts {
 
 struct MctsConfig {
-  int simulations = 500;  // paper: 500 per register cone
+  int simulations = 500;  // paper: 500 per register cone (total, all trees)
   int max_depth = 10;     // paper: 10
   double exploration = 1.4142135623730951;  // sqrt(2), UCB1
   int actions_per_state = 12;  // candidate swaps sampled per tree node
@@ -30,6 +42,18 @@ struct MctsConfig {
   /// Rounds over the register list; each cone search starts from the best
   /// state found so far, so improvements accumulate beyond one tree depth.
   int passes = 2;
+  /// Independent root-parallel trees per cone; the simulation budget is
+  /// split across them. 1 = the paper's single-tree search. The tree count
+  /// (not the thread count) determines the search trajectory, so results
+  /// for a fixed (seed, root_trees) are identical at any `threads`.
+  int root_trees = 1;
+  /// Executor width for root-parallel trees (<= 1 runs them inline).
+  int threads = 1;
+  /// Max states per batched reward evaluation; states produced by one
+  /// simulation (expansion + rollout) are scored together in chunks of
+  /// this size. <= 1 scores one state at a time. Batching never changes
+  /// results: rewards are consumed only after the states are generated.
+  int reward_batch = 16;
 };
 
 /// Swap the parents currently driving (child_a, slot_a) and
@@ -48,25 +72,64 @@ bool apply_swap(graph::Graph& g, const SwapAction& action);
 
 /// State evaluation callback (PCS; larger is better).
 using RewardFn = std::function<double(const graph::Graph&)>;
+/// Batched evaluation: one reward per input graph, in order.
+using BatchRewardFn =
+    std::function<std::vector<double>(std::span<const graph::Graph>)>;
+
+/// A reward with an optional batched fast path. Single-argument callables
+/// convert implicitly, so plain RewardFn lambdas keep working; rewards
+/// backed by the learned discriminator supply a real `batch` that runs the
+/// MLP over many graphs per forward pass. The batch path must agree with
+/// the scalar path bitwise (row-independent matmuls make this exact for
+/// the discriminator), so batching is a pure throughput knob.
+class Reward {
+ public:
+  Reward() = default;
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Reward> &&
+                std::is_invocable_r_v<double, F, const graph::Graph&>>>
+  Reward(F single) : single_(std::move(single)) {}  // NOLINT(runtime/explicit)
+  Reward(RewardFn single, BatchRewardFn batch)
+      : single_(std::move(single)), batch_(std::move(batch)) {}
+
+  double operator()(const graph::Graph& g) const { return single_(g); }
+
+  /// Rewards for all graphs, chunked to at most `max_batch` per batched
+  /// call; falls back to the scalar path when no batch fn was supplied.
+  [[nodiscard]] std::vector<double> batch(std::span<const graph::Graph> gs,
+                                          int max_batch) const;
+
+  [[nodiscard]] bool defined() const { return static_cast<bool>(single_); }
+  [[nodiscard]] bool has_batch() const { return static_cast<bool>(batch_); }
+
+ private:
+  RewardFn single_;
+  BatchRewardFn batch_;
+};
 
 /// Runs MCTS restricted to the driving cone of one register. Returns the
-/// best graph found and its reward.
+/// best graph found and its reward. With `config.root_trees > 1` the
+/// budget is root-parallelized; trees run on `pool` when given, else on a
+/// pool created locally when `config.threads > 1`, else inline.
 std::pair<graph::Graph, double> optimize_cone(const graph::Graph& start,
                                               graph::NodeId reg,
                                               const MctsConfig& config,
-                                              const RewardFn& reward,
-                                              util::Rng& rng);
+                                              const Reward& reward,
+                                              util::Rng& rng,
+                                              util::ThreadPool* pool = nullptr);
 
 /// Full Phase 3: optimizes register cones one by one (paper §VI-A),
-/// feeding each cone's best result into the next.
+/// feeding each cone's best result into the next. Creates one thread pool
+/// for the whole run when `config.threads > 1`.
 graph::Graph optimize_registers(const graph::Graph& gval,
                                 const MctsConfig& config,
-                                const RewardFn& reward, util::Rng& rng);
+                                const Reward& reward, util::Rng& rng);
 
 /// Ablation baseline (Fig 4): a random walk of valid swaps with the same
 /// simulation budget, keeping the best state encountered.
 graph::Graph random_optimize(const graph::Graph& gval,
-                             const MctsConfig& config, const RewardFn& reward,
+                             const MctsConfig& config, const Reward& reward,
                              util::Rng& rng);
 
 }  // namespace syn::mcts

@@ -1,0 +1,58 @@
+#include "util/thread_pool.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace syn::util {
+
+std::vector<std::uint64_t> split_streams(std::uint64_t seed,
+                                         std::size_t count) {
+  std::vector<std::uint64_t> streams(count);
+  std::uint64_t state = seed;
+  for (auto& s : streams) s = splitmix64(state);
+  return streams;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue before honoring shutdown so every submitted
+      // future is eventually satisfied.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+}  // namespace syn::util

@@ -1,0 +1,188 @@
+// Concurrency tier: ThreadPool semantics (futures, exception propagation,
+// stress) and the root-parallel MCTS determinism contract — a fixed
+// (seed, root_trees) must produce bit-identical graphs and rewards at any
+// thread count, because the work decomposition, not the worker schedule,
+// drives every random draw. These binaries are the TSan CI job's targets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/validity.hpp"
+#include "mcts/mcts.hpp"
+#include "tests/support/fixtures.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace syn {
+namespace {
+
+using graph::Graph;
+using testsupport::observability_reward;
+using testsupport::redundant_circuit;
+
+TEST(ThreadPool, RunsManySmallTasksToCompletion) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> results;
+  for (int i = 0; i < 1000; ++i) {
+    results.push_back(pool.submit([i] { return i * i; }));
+  }
+  long long total = 0;
+  for (auto& r : results) total += r.get();
+  long long expected = 0;
+  for (int i = 0; i < 1000; ++i) expected += static_cast<long long>(i) * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionsThroughFutures) {
+  util::ThreadPool pool(3);
+  auto ok_before = pool.submit([] { return 1; });
+  auto boom = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_EQ(ok_before.get(), 1);
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // A throwing task must not kill its worker: the pool stays usable.
+  auto ok_after = pool.submit([] { return 2; });
+  EXPECT_EQ(ok_after.get(), 2);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexAndRethrows) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::logic_error("i=5");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins only after the queue is empty
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(SplitStreams, DeterministicAndDistinct) {
+  const auto a = util::split_streams(42, 16);
+  const auto b = util::split_streams(42, 16);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::set<std::uint64_t>(a.begin(), a.end()).size(), a.size());
+  // Prefix property: the first k streams of a longer split are identical,
+  // so growing the tree count never reshuffles existing streams.
+  const auto longer = util::split_streams(42, 32);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(longer[i], a[i]);
+}
+
+mcts::MctsConfig parallel_config(int threads) {
+  mcts::MctsConfig cfg;
+  cfg.simulations = 96;
+  cfg.max_depth = 6;
+  cfg.actions_per_state = 8;
+  cfg.max_registers = 4;
+  cfg.passes = 1;
+  cfg.root_trees = 8;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TEST(ParallelMcts, OptimizeConeBitIdenticalAcrossThreadCounts) {
+  const Graph start = redundant_circuit(36, 91);
+  graph::NodeId reg = graph::kNoNode;
+  std::size_t best_cone = 0;
+  for (graph::NodeId i = 0; i < start.num_nodes(); ++i) {
+    if (!graph::is_sequential(start.type(i))) continue;
+    const std::size_t cone = graph::driving_cone(start, i).size();
+    if (cone > best_cone) {
+      best_cone = cone;
+      reg = i;
+    }
+  }
+  ASSERT_NE(reg, graph::kNoNode);
+
+  std::optional<std::pair<Graph, double>> reference;
+  for (int threads : {1, 2, 8}) {
+    util::Rng rng(17);  // fresh, fixed-seed stream per run
+    auto result = mcts::optimize_cone(start, reg, parallel_config(threads),
+                                      observability_reward, rng);
+    EXPECT_TRUE(graph::is_valid(result.first));
+    if (!reference) {
+      reference = std::move(result);
+      continue;
+    }
+    EXPECT_EQ(result.first, reference->first) << "threads=" << threads;
+    EXPECT_EQ(result.second, reference->second) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMcts, OptimizeRegistersBitIdenticalAcrossThreadCounts) {
+  const Graph start = redundant_circuit(40, 92);
+  std::optional<Graph> reference;
+  for (int threads : {1, 2, 8}) {
+    util::Rng rng(23);
+    Graph result = mcts::optimize_registers(start, parallel_config(threads),
+                                            observability_reward, rng);
+    EXPECT_TRUE(graph::is_valid(result));
+    EXPECT_GE(observability_reward(result), observability_reward(start));
+    if (!reference) {
+      reference = std::move(result);
+      continue;
+    }
+    EXPECT_EQ(result, *reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMcts, SharedPoolMatchesLocalExecution) {
+  // Routing the trees through a caller-owned pool must not change results.
+  const Graph start = redundant_circuit(32, 93);
+  graph::NodeId reg = graph::kNoNode;
+  for (graph::NodeId i = 0; i < start.num_nodes(); ++i) {
+    if (graph::is_sequential(start.type(i))) reg = i;
+  }
+  ASSERT_NE(reg, graph::kNoNode);
+  const auto cfg = parallel_config(1);
+
+  util::Rng rng_inline(5);
+  const auto inline_run =
+      mcts::optimize_cone(start, reg, cfg, observability_reward, rng_inline);
+  util::ThreadPool pool(4);
+  util::Rng rng_pooled(5);
+  const auto pooled_run =
+      mcts::optimize_cone(start, reg, cfg, observability_reward, rng_pooled, &pool);
+  EXPECT_EQ(inline_run.first, pooled_run.first);
+  EXPECT_EQ(inline_run.second, pooled_run.second);
+}
+
+TEST(ParallelMcts, SingleTreeConfigIgnoresThreadKnob) {
+  // root_trees=1 is the paper's single-tree search; the thread knob must
+  // not alter its trajectory.
+  const Graph start = redundant_circuit(28, 94);
+  auto cfg = parallel_config(1);
+  cfg.root_trees = 1;
+  util::Rng rng_a(3);
+  const Graph a = mcts::optimize_registers(start, cfg, observability_reward, rng_a);
+  cfg.threads = 8;
+  util::Rng rng_b(3);
+  const Graph b = mcts::optimize_registers(start, cfg, observability_reward, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace syn

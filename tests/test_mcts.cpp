@@ -2,35 +2,26 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
-#include "core/postprocess.hpp"
-#include "core/generator.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/validity.hpp"
 #include "mcts/discriminator.hpp"
 #include "mcts/mcts.hpp"
 #include "rtl/generators.hpp"
 #include "synth/synthesizer.hpp"
+#include "tests/support/fixtures.hpp"
 
 namespace syn::mcts {
 namespace {
 
 using graph::Graph;
-using graph::NodeAttrs;
 using graph::NodeType;
-
-/// A deliberately redundant valid circuit: a random repair with many
-/// unobservable register cones.
-Graph redundant_circuit(std::size_t n, std::uint64_t seed) {
-  util::Rng rng(seed);
-  core::AttrSampler sampler;
-  sampler.fit(rtl::corpus_graphs({.seed = 3}));
-  const NodeAttrs attrs = sampler.sample(n, rng);
-  graph::AdjacencyMatrix empty(n);
-  nn::Matrix probs(n, n);
-  for (auto& v : probs.data()) v = static_cast<float>(rng.uniform());
-  return core::repair_to_valid(attrs, empty, probs, rng);
-}
+using testsupport::redundant_circuit;
 
 TEST(SwapAction, PreservesDegreesAndValidity) {
   Graph g = redundant_circuit(30, 41);
@@ -91,21 +82,60 @@ TEST(SwapAction, RevertsCleanlyOnCombLoopRejection) {
   EXPECT_EQ(g, snapshot);
 }
 
-TEST(Mcts, ImprovesObservabilityRewardOnRedundantCircuit) {
-  // Reward = fraction of register bits observable: MCTS should rewire
-  // cones so more registers reach outputs.
-  const RewardFn reward = [](const Graph& g) {
-    const auto mask = graph::observable_mask(g);
-    std::size_t seen = 0, total = 0;
+TEST(SwapActionProperty, FuzzedSwapsPreserveDegreesAndAcyclicity) {
+  // Property fuzz over random valid graphs: an applied swap preserves
+  // every node's in- and out-degree and never closes a combinational
+  // loop; a rejected swap leaves the graph byte-identical.
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    Graph g = redundant_circuit(24 + (seed % 3) * 8, seed);
+    util::Rng rng(seed ^ 0xf00d);
+    ASSERT_FALSE(graph::has_combinational_loop(g));
+    const auto in_degree = [](const Graph& gr, graph::NodeId n) {
+      std::size_t d = 0;
+      for (graph::NodeId p : gr.fanins(n)) d += p != graph::kNoNode;
+      return d;
+    };
+    std::vector<std::size_t> in_before, out_before;
     for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
-      if (graph::is_sequential(g.type(i))) {
-        ++total;
-        seen += mask[i];
+      in_before.push_back(in_degree(g, i));
+      out_before.push_back(g.fanouts(i).size());
+    }
+    int applied = 0, rejected = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+      SwapAction a;
+      a.child_a = static_cast<graph::NodeId>(rng.uniform_int(g.num_nodes()));
+      a.child_b = static_cast<graph::NodeId>(rng.uniform_int(g.num_nodes()));
+      if (g.fanins(a.child_a).empty() || g.fanins(a.child_b).empty()) {
+        continue;
+      }
+      a.slot_a = static_cast<int>(rng.uniform_int(g.fanins(a.child_a).size()));
+      a.slot_b = static_cast<int>(rng.uniform_int(g.fanins(a.child_b).size()));
+      const Graph snapshot = g;
+      if (!apply_swap(g, a)) {
+        ++rejected;
+        ASSERT_EQ(g, snapshot) << "rejected swap mutated the graph, trial "
+                               << trial << " seed " << seed;
+        continue;
+      }
+      ++applied;
+      ASSERT_FALSE(graph::has_combinational_loop(g))
+          << "trial " << trial << " seed " << seed;
+      ASSERT_TRUE(graph::is_valid(g)) << "trial " << trial << " seed " << seed;
+      for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+        ASSERT_EQ(in_degree(g, i), in_before[i]) << "node " << i;
+        ASSERT_EQ(g.fanouts(i).size(), out_before[i]) << "node " << i;
       }
     }
-    return total ? static_cast<double>(seen) / static_cast<double>(total)
-                 : 0.0;
-  };
+    // The fuzzer must exercise both outcomes to mean anything.
+    EXPECT_GT(applied, 0) << "seed " << seed;
+    EXPECT_GT(rejected, 0) << "seed " << seed;
+  }
+}
+
+TEST(Mcts, ImprovesObservabilityRewardOnRedundantCircuit) {
+  // Reward = fraction of registers observable: MCTS should rewire cones
+  // so more registers reach outputs.
+  const RewardFn reward = testsupport::observability_reward;
   const Graph start = redundant_circuit(40, 44);
   util::Rng rng(45);
   const MctsConfig cfg{.simulations = 80, .max_depth = 6,
@@ -184,7 +214,76 @@ TEST(Discriminator, CorrelatesWithExactPcs) {
 TEST(Discriminator, RejectsMisuse) {
   PcsDiscriminator disc(1);
   EXPECT_THROW((void)disc.predict(rtl::make_counter(4)), std::logic_error);
+  EXPECT_THROW((void)disc.score_batch({}), std::logic_error);
   EXPECT_THROW(disc.fit({}, 10), std::invalid_argument);
+}
+
+/// One discriminator fitted on a small mixed population, shared by the
+/// batching tests (fitting dominates their runtime).
+const PcsDiscriminator& shared_discriminator() {
+  static const PcsDiscriminator* disc = [] {
+    std::vector<Graph> train;
+    for (std::uint64_t s = 60; s < 68; ++s) {
+      train.push_back(redundant_circuit(24, s));
+    }
+    for (auto& d : rtl::make_corpus({.seed = 4})) {
+      train.push_back(std::move(d.graph));
+    }
+    auto* d = new PcsDiscriminator(7);
+    d->fit(train, 150);
+    return d;
+  }();
+  return *disc;
+}
+
+TEST(Discriminator, ScoreBatchMatchesScalarPredict) {
+  const PcsDiscriminator& disc = shared_discriminator();
+
+  // Mixed-size graphs in one batch.
+  std::vector<Graph> batch;
+  for (std::uint64_t s = 80; s < 84; ++s) {
+    batch.push_back(redundant_circuit(16 + (s % 4) * 12, s));
+  }
+  for (auto& d : rtl::make_corpus({.seed = 5})) {
+    batch.push_back(std::move(d.graph));
+  }
+  const std::vector<double> scores = disc.score_batch(batch);
+  ASSERT_EQ(scores.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(scores[i], disc.predict(batch[i]), 1e-9) << "graph " << i;
+  }
+
+  // Empty and singleton batches.
+  EXPECT_TRUE(disc.score_batch(std::span<const Graph>{}).empty());
+  const std::vector<Graph> one{batch.front()};
+  const auto single = disc.score_batch(one);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_NEAR(single[0], disc.predict(one[0]), 1e-9);
+
+  // The packaged reward model agrees between scalar and batch paths too.
+  const Reward hybrid = hybrid_reward_model(disc);
+  const auto batched = hybrid.batch(batch, 4);  // forces chunked batch calls
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(batched[i], hybrid(batch[i]), 1e-9) << "graph " << i;
+  }
+}
+
+TEST(Mcts, RewardBatchingDoesNotChangeSearchResults) {
+  // reward_batch is a pure throughput knob: the search trajectory and the
+  // returned graph must be identical batched and unbatched.
+  const Reward hybrid = hybrid_reward_model(shared_discriminator());
+  const Graph start = redundant_circuit(32, 95);
+  MctsConfig cfg{.simulations = 48, .max_depth = 6, .actions_per_state = 8,
+                 .max_registers = 3, .passes = 1, .root_trees = 4};
+  cfg.reward_batch = 1;
+  util::Rng rng_scalar(11);
+  const Graph unbatched = optimize_registers(start, cfg, hybrid, rng_scalar);
+  cfg.reward_batch = 16;
+  util::Rng rng_batched(11);
+  const Graph batched = optimize_registers(start, cfg, hybrid, rng_batched);
+  EXPECT_EQ(unbatched, batched);
+  EXPECT_TRUE(graph::is_valid(batched));
 }
 
 }  // namespace
