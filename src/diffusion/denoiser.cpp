@@ -1,9 +1,11 @@
 #include "diffusion/denoiser.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -53,12 +55,15 @@ std::vector<std::vector<std::size_t>> Denoiser::parent_lists(
   return parents;
 }
 
-Tensor Denoiser::encode(
-    const Matrix& node_features,
-    const std::vector<std::vector<std::size_t>>& parents, int t) const {
+namespace {
+
+/// Attribute features augmented with the noisy graph's normalized in- and
+/// out-degree — cheap structural summaries of A_t. Degrees are normalized
+/// by this graph's own node count, so per-graph augmentation is what the
+/// packed multi-graph path stacks.
+Matrix augment_features(const Matrix& node_features,
+                        const std::vector<std::vector<std::size_t>>& parents) {
   const std::size_t n = node_features.rows();
-  // Augment the attribute features with the noisy graph's normalized in-
-  // and out-degree — cheap structural summaries of A_t.
   std::vector<float> out_degree(n, 0.0f);
   for (const auto& plist : parents) {
     for (std::size_t p : plist) out_degree[p] += 1.0f;
@@ -73,6 +78,15 @@ Tensor Denoiser::encode(
         static_cast<float>(parents[i].size()) * norm * 8.0f;
     augmented.at(i, node_features.cols() + 1) = out_degree[i] * norm * 8.0f;
   }
+  return augmented;
+}
+
+}  // namespace
+
+Tensor Denoiser::encode_augmented(
+    const Matrix& augmented,
+    const std::vector<std::vector<std::size_t>>& parents, int t) const {
+  const std::size_t n = augmented.rows();
   const Tensor x(augmented);
   const Tensor t_emb =
       time_init_.forward(Tensor(nn::timestep_encoding(t, config_.time_dim)));
@@ -84,6 +98,13 @@ Tensor Denoiser::encode(
                          wm_[static_cast<std::size_t>(l)].forward(msg)));
   }
   return h;
+}
+
+Tensor Denoiser::encode(
+    const Matrix& node_features,
+    const std::vector<std::vector<std::size_t>>& parents, int t) const {
+  return encode_augmented(augment_features(node_features, parents), parents,
+                          t);
 }
 
 Tensor Denoiser::decode(const Tensor& h, const std::vector<Pair>& pairs,
@@ -118,6 +139,249 @@ Tensor Denoiser::decode(const Tensor& h, const std::vector<Pair>& pairs,
   }
   return head_.forward(
       nn::concat_cols(nn::concat_cols(prod, d_rows), Tensor(state)));
+}
+
+namespace {
+
+/// c = a * b with nn::matmul's exact loop order (i, k ascending with the
+/// zero-skip, j) so fused results match the tensor path bitwise. Raw row
+/// pointers — the arithmetic is identical, only the addressing is leaner.
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  const std::size_t cols = b.cols();
+  c = Matrix(a.rows(), cols);
+  const float* brow0 = b.data().data();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.data().data() + i * a.cols();
+    float* crow = c.data().data() + i * cols;
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = arow[k];
+      if (av == 0.0f) continue;
+      const float* brow = brow0 + k * cols;
+      for (std::size_t j = 0; j < cols; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix Denoiser::encode_rows(
+    const Matrix& augmented,
+    const std::vector<std::vector<std::size_t>>& parents, int t) const {
+  const nn::NoGradGuard no_grad;
+  // The 1-row time embedding goes through the tensor path (tiny, and its
+  // arithmetic stays trivially identical to encode_augmented's).
+  const Matrix t_emb =
+      time_init_
+          .forward(Tensor(nn::timestep_encoding(t, config_.time_dim)))
+          .value();  // 1 x hidden
+
+  const std::size_t rows = augmented.rows();
+  const std::size_t hidden = config_.hidden;
+  const auto& init_layers = init_.layers();  // {feat -> hidden, hidden -> hidden}
+  // The fused kernel hardcodes the ReLU between init_'s layers.
+  assert(init_.hidden_activation() == nn::Activation::kRelu);
+
+  // init_ MLP: layer0 + bias, hidden ReLU, layer1 + bias...
+  Matrix mm;
+  matmul_into(mm, augmented, init_layers[0].weight_value());
+  const float* b0 = init_layers[0].bias_value().data().data();
+  Matrix x(rows, hidden);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* mrow = mm.data().data() + r * hidden;
+    float* xrow = x.data().data() + r * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const float v = mrow[j] + b0[j];
+      xrow[j] = v > 0.0f ? v : 0.0f;
+    }
+  }
+  matmul_into(mm, x, init_layers[1].weight_value());
+  const float* b1 = init_layers[1].bias_value().data().data();
+  // ...then the broadcast time embedding and the outer ReLU.
+  const float* temb = t_emb.data().data();
+  Matrix h(rows, hidden);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* mrow = mm.data().data() + r * hidden;
+    float* hrow = h.data().data() + r * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const float v = (mrow[j] + b1[j]) + temb[j];
+      hrow[j] = v > 0.0f ? v : 0.0f;
+    }
+  }
+
+  // Message-passing layers: mean-aggregate parents, two affine maps, ReLU.
+  Matrix msg(rows, hidden);
+  Matrix mmh, mmm;
+  for (int l = 0; l < config_.mpnn_layers; ++l) {
+    msg.fill(0.0f);
+    for (std::size_t g = 0; g < rows; ++g) {
+      if (parents[g].empty()) continue;
+      // Accumulate value * inv per term, in group order — exactly
+      // nn::aggregate_rows.
+      const float inv = 1.0f / static_cast<float>(parents[g].size());
+      float* mrow = msg.data().data() + g * hidden;
+      for (const std::size_t src : parents[g]) {
+        const float* hrow = h.data().data() + src * hidden;
+        for (std::size_t j = 0; j < hidden; ++j) {
+          mrow[j] += hrow[j] * inv;
+        }
+      }
+    }
+    const auto& lh = wh_[static_cast<std::size_t>(l)];
+    const auto& lm = wm_[static_cast<std::size_t>(l)];
+    matmul_into(mmh, h, lh.weight_value());
+    matmul_into(mmm, msg, lm.weight_value());
+    const float* bh = lh.bias_value().data().data();
+    const float* bm = lm.bias_value().data().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* hrow = mmh.data().data() + r * hidden;
+      const float* mrow = mmm.data().data() + r * hidden;
+      float* out = h.data().data() + r * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const float v = (hrow[j] + bh[j]) + (mrow[j] + bm[j]);
+        out[j] = v > 0.0f ? v : 0.0f;
+      }
+    }
+  }
+  return h;
+}
+
+Matrix Denoiser::decode_rows(const Matrix& h, const std::vector<Pair>& pairs,
+                             const std::vector<std::uint8_t>& state,
+                             int t) const {
+  const nn::NoGradGuard no_grad;
+  const Tensor enc_t(nn::timestep_encoding(t, config_.time_dim));
+  // The per-call 1-row embeddings still go through the tensor path — they
+  // are tiny and this keeps their arithmetic trivially identical.
+  Matrix r;
+  if (!config_.symmetric_decoder) r = relation_.forward(enc_t).value();
+  const Matrix d = dtime_.forward(enc_t).value();
+
+  const auto& layer0 = head_.layers()[0];  // (hidden + time_dim + 1) -> hidden
+  const auto& layer1 = head_.layers()[1];  // hidden -> 1
+  // The fused kernel hardcodes the ReLU between head_'s layers.
+  assert(head_.hidden_activation() == nn::Activation::kRelu);
+  const Matrix& w0 = layer0.weight_value();
+  const Matrix& b0 = layer0.bias_value();
+  const Matrix& w1 = layer1.weight_value();
+  const Matrix& b1 = layer1.bias_value();
+
+  const std::size_t hidden = config_.hidden;
+  const std::size_t in_dim = hidden + config_.time_dim + 1;
+  const std::size_t head_hidden = w0.cols();
+  const float* rrow = r.size() ? r.data().data() : nullptr;
+  const float* drow = d.data().data();
+  const float* w0p = w0.data().data();
+  const float* b0p = b0.data().data();
+  const float* w1p = w1.data().data();
+  const float* hbase = h.data().data();
+  std::vector<float> row(in_dim);
+  std::vector<float> acc(head_hidden);
+  Matrix out(pairs.size(), 1);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    // row = [ (H_i (+ r)) ⊙ H_j | 0 + d | A_t bit ] — the same expressions
+    // the mul/add-broadcast/concat tensor ops evaluate per row.
+    const float* hi = hbase + pairs[k].src * hidden;
+    const float* hj = hbase + pairs[k].dst * hidden;
+    if (config_.symmetric_decoder) {
+      for (std::size_t j = 0; j < hidden; ++j) row[j] = hi[j] * hj[j];
+    } else {
+      for (std::size_t j = 0; j < hidden; ++j) {
+        row[j] = (hi[j] + rrow[j]) * hj[j];
+      }
+    }
+    for (std::size_t j = 0; j < config_.time_dim; ++j) {
+      row[hidden + j] = 0.0f + drow[j];  // matches add(zeros, d) exactly
+    }
+    row[hidden + config_.time_dim] = state[k] ? 1.0f : 0.0f;
+
+    // Head layer 0: matmul row (k-ascending, zero-skip as nn::matmul),
+    // then bias, then the hidden ReLU.
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    for (std::size_t kk = 0; kk < in_dim; ++kk) {
+      const float av = row[kk];
+      if (av == 0.0f) continue;
+      const float* wrow = w0p + kk * head_hidden;
+      for (std::size_t j = 0; j < head_hidden; ++j) {
+        acc[j] += av * wrow[j];
+      }
+    }
+    for (std::size_t j = 0; j < head_hidden; ++j) {
+      acc[j] += b0p[j];
+      acc[j] = acc[j] > 0.0f ? acc[j] : 0.0f;
+    }
+    // Head layer 1 (linear output).
+    float logit = 0.0f;
+    for (std::size_t kk = 0; kk < head_hidden; ++kk) {
+      const float av = acc[kk];
+      if (av == 0.0f) continue;
+      logit += av * w1p[kk];
+    }
+    logit += b1.at(0, 0);
+    out.data()[k] = logit;
+  }
+  return out;
+}
+
+std::vector<Matrix> Denoiser::predict_batch(
+    std::span<const GraphStepInput> batch, int t) const {
+  if (batch.empty()) return {};
+  // Sampling never backpropagates: drop autograd bookkeeping for the whole
+  // packed forward (values are unaffected).
+  const nn::NoGradGuard no_grad;
+
+  std::size_t total_nodes = 0;
+  std::size_t total_pairs = 0;
+  for (const GraphStepInput& item : batch) {
+    total_nodes += item.features->rows();
+    total_pairs += item.pairs->size();
+  }
+
+  // Pack: graph k's nodes occupy the row block [base_k, base_k + N_k);
+  // parent lists and pair endpoints shift into that block.
+  Matrix packed(total_nodes, feature_dim() + 2);
+  std::vector<std::vector<std::size_t>> parents(total_nodes);
+  std::vector<Pair> pairs;
+  pairs.reserve(total_pairs);
+  std::vector<std::uint8_t> state;
+  state.reserve(total_pairs);
+  std::size_t base = 0;
+  for (const GraphStepInput& item : batch) {
+    const Matrix augmented = augment_features(*item.features, *item.parents);
+    const std::size_t n = augmented.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < augmented.cols(); ++j) {
+        packed.at(base + i, j) = augmented.at(i, j);
+      }
+      auto& plist = parents[base + i];
+      plist.reserve((*item.parents)[i].size());
+      for (std::size_t p : (*item.parents)[i]) plist.push_back(base + p);
+    }
+    for (const Pair& p : *item.pairs) {
+      pairs.push_back({static_cast<std::uint32_t>(p.src + base),
+                       static_cast<std::uint32_t>(p.dst + base)});
+    }
+    state.insert(state.end(), item.state->begin(), item.state->end());
+    base += n;
+  }
+
+  const Matrix h = encode_rows(packed, parents, t);
+  const Matrix logits = decode_rows(h, pairs, state, t);
+
+  // Split the (sum P_k) x 1 logits back into per-graph blocks.
+  std::vector<Matrix> out;
+  out.reserve(batch.size());
+  std::size_t row = 0;
+  for (const GraphStepInput& item : batch) {
+    Matrix block(item.pairs->size(), 1);
+    for (std::size_t k = 0; k < item.pairs->size(); ++k) {
+      block.at(k, 0) = logits.at(row + k, 0);
+    }
+    row += item.pairs->size();
+    out.push_back(std::move(block));
+  }
+  return out;
 }
 
 void Denoiser::collect_parameters(std::vector<nn::Tensor>& out) const {

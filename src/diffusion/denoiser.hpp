@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/adjacency.hpp"
@@ -37,6 +38,16 @@ struct Pair {
   std::uint32_t dst;
 };
 
+/// Borrowed per-graph inputs of one denoising step — exactly what one
+/// scalar encode() + decode() call consumes. All pointers must outlive the
+/// predict_batch() call.
+struct GraphStepInput {
+  const nn::Matrix* features;                            // N_k x feature_dim()
+  const std::vector<std::vector<std::size_t>>* parents;  // size N_k
+  const std::vector<Pair>* pairs;                        // P_k queried pairs
+  const std::vector<std::uint8_t>* state;                // P_k noisy bits A_t
+};
+
 class Denoiser : public nn::Module {
  public:
   Denoiser(DenoiserConfig config, util::Rng& rng);
@@ -56,6 +67,18 @@ class Denoiser : public nn::Module {
                                   const std::vector<std::uint8_t>& current_state,
                                   int t) const;
 
+  /// Batched multi-graph forward: packs all K graphs' node rows into one
+  /// matrix per MPNN layer (row blocks in batch order, parent indices
+  /// offset per block) and all pair queries into one decoder call, then
+  /// splits the logits back per graph. Every `nn` forward op is
+  /// row-independent, so result[k] is bitwise equal to
+  /// decode(encode(features_k, parents_k, t), pairs_k, state_k, t) — the
+  /// packing amortizes per-call work (time embeddings, r(t)/d(t) MLPs,
+  /// tensor bookkeeping) across the batch without changing a single bit.
+  /// Mixed graph sizes are fine; runs in inference mode (no autograd).
+  [[nodiscard]] std::vector<nn::Matrix> predict_batch(
+      std::span<const GraphStepInput> batch, int t) const;
+
   void collect_parameters(std::vector<nn::Tensor>& out) const override;
 
   [[nodiscard]] const DenoiserConfig& config() const { return config_; }
@@ -70,6 +93,33 @@ class Denoiser : public nn::Module {
       const graph::AdjacencyMatrix& adj);
 
  private:
+  /// Encoder body on a pre-augmented (attrs + degree features) node matrix;
+  /// `parents` indices address rows of `augmented`. Shared by the scalar
+  /// and the packed multi-graph paths.
+  [[nodiscard]] nn::Tensor encode_augmented(
+      const nn::Matrix& augmented,
+      const std::vector<std::vector<std::size_t>>& parents, int t) const;
+
+  /// Fused inference encoder: the exact encode_augmented() arithmetic
+  /// (init MLP, broadcast time embedding, L message-passing layers) with
+  /// reused flat buffers instead of one autograd tensor per op. Bitwise
+  /// equal to the tensor path — identical loop orders and accumulation —
+  /// minus all allocation and bookkeeping.
+  [[nodiscard]] nn::Matrix encode_rows(
+      const nn::Matrix& augmented,
+      const std::vector<std::vector<std::size_t>>& parents, int t) const;
+
+  /// Fused inference decoder: per pair row, the exact decode() arithmetic
+  /// (translate, Hadamard, concat d(t) and the noisy bit, 2-layer head) in
+  /// one streaming pass with no intermediate matrices. Bitwise equal per
+  /// row to decode() — same loop orders, same accumulation — but the
+  /// packed multi-graph working set stays in registers/L1 instead of
+  /// spilling (sum P_k) x cols temporaries past L2.
+  [[nodiscard]] nn::Matrix decode_rows(const nn::Matrix& h,
+                                       const std::vector<Pair>& pairs,
+                                       const std::vector<std::uint8_t>& state,
+                                       int t) const;
+
   DenoiserConfig config_;
   nn::Mlp init_;                 // attrs -> hidden
   nn::Mlp time_init_;            // enc(t) -> hidden (added to init)

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -185,6 +186,93 @@ DiffusionSample DiffusionModel::sample(const NodeAttrs& attrs,
     at = std::move(next);
   }
   return {std::move(at), std::move(edge_prob)};
+}
+
+std::vector<DiffusionSample> DiffusionModel::sample_batch(
+    std::span<const NodeAttrs> attrs, std::span<util::Rng> rngs) const {
+  if (!trained()) throw std::logic_error("DiffusionModel::sample before train");
+  if (attrs.size() != rngs.size()) {
+    throw std::invalid_argument("sample_batch: attrs/rngs size mismatch");
+  }
+  const std::size_t chains = attrs.size();
+  if (chains == 0) return {};
+
+  // Per-chain state. A chain only ever touches its own rng, in the exact
+  // order of the scalar path: A_T first, then one posterior draw per pair
+  // per step — lockstep batching changes no draw.
+  struct Chain {
+    Matrix features;
+    std::vector<Pair> pairs;
+    AdjacencyMatrix at{0};
+    Matrix edge_prob;
+    std::vector<std::uint8_t> state;
+    std::vector<std::vector<std::size_t>> parents;
+  };
+  std::vector<Chain> chain(chains);
+  for (std::size_t c = 0; c < chains; ++c) {
+    const std::size_t n = attrs[c].size();
+    chain[c].features = Denoiser::node_features(attrs[c]);
+    chain[c].pairs.reserve(n * (n - 1));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) {
+          chain[c].pairs.push_back(
+              {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+        }
+      }
+    }
+    // A_T ~ stationary noise.
+    chain[c].at = AdjacencyMatrix(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) {
+          chain[c].at.set(i, j,
+                          rngs[c].bernoulli(schedule_->noise_marginal()));
+        }
+      }
+    }
+    chain[c].edge_prob = Matrix(n, n);
+  }
+
+  for (int t = schedule_->steps(); t >= 1; --t) {
+    std::vector<GraphStepInput> inputs;
+    inputs.reserve(chains);
+    for (std::size_t c = 0; c < chains; ++c) {
+      chain[c].state.resize(chain[c].pairs.size());
+      for (std::size_t k = 0; k < chain[c].pairs.size(); ++k) {
+        chain[c].state[k] =
+            chain[c].at.at(chain[c].pairs[k].src, chain[c].pairs[k].dst) ? 1
+                                                                         : 0;
+      }
+      chain[c].parents = Denoiser::parent_lists(chain[c].at);
+      inputs.push_back({&chain[c].features, &chain[c].parents,
+                        &chain[c].pairs, &chain[c].state});
+    }
+    // One packed denoiser forward for all K chains at this step.
+    const std::vector<Matrix> logits = denoiser_.predict_batch(inputs, t);
+    for (std::size_t c = 0; c < chains; ++c) {
+      AdjacencyMatrix next(chain[c].at.size());
+      for (std::size_t k = 0; k < chain[c].pairs.size(); ++k) {
+        const auto i = chain[c].pairs[k].src;
+        const auto j = chain[c].pairs[k].dst;
+        const double p0_hat =
+            1.0 /
+            (1.0 + std::exp(-static_cast<double>(logits[c].at(k, 0))));
+        const double p_prev =
+            schedule_->posterior(t, chain[c].at.at(i, j), p0_hat);
+        next.set(i, j, rngs[c].bernoulli(p_prev));
+        if (t == 1) chain[c].edge_prob.at(i, j) = static_cast<float>(p_prev);
+      }
+      chain[c].at = std::move(next);
+    }
+  }
+
+  std::vector<DiffusionSample> out;
+  out.reserve(chains);
+  for (std::size_t c = 0; c < chains; ++c) {
+    out.push_back({std::move(chain[c].at), std::move(chain[c].edge_prob)});
+  }
+  return out;
 }
 
 }  // namespace syn::diffusion

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "diffusion/denoiser.hpp"
@@ -51,9 +52,24 @@ class DiffusionModel {
   /// objective: predict clean edges from corrupted adjacency).
   TrainStats train(const std::vector<graph::Graph>& corpus);
 
-  /// Reverse diffusion conditioned on the node attributes.
+  /// Reverse diffusion conditioned on the node attributes — the reference
+  /// scalar path (one tensor-op denoiser forward per step). sample_batch
+  /// on one chain is bit-identical to this (asserted in test_diffusion);
+  /// keeping the implementations separate means the equivalence tests
+  /// compare two genuinely different code paths.
   [[nodiscard]] DiffusionSample sample(const graph::NodeAttrs& attrs,
                                        util::Rng& rng) const;
+
+  /// Advances K reverse-diffusion chains in lockstep: each denoising step
+  /// runs ONE packed multi-graph denoiser forward (Denoiser::predict_batch)
+  /// instead of K independent ones. Chain k consumes only rngs[k], in
+  /// exactly the draw order of the scalar path, and the packed forward is
+  /// bitwise row-equal to the per-graph forward — so result[k] is
+  /// bit-identical to sample(attrs[k], rngs[k]) run sequentially, at any
+  /// batch size. attrs and rngs must have equal length; chains may have
+  /// different node counts.
+  [[nodiscard]] std::vector<DiffusionSample> sample_batch(
+      std::span<const graph::NodeAttrs> attrs, std::span<util::Rng> rngs) const;
 
   [[nodiscard]] const Schedule& schedule() const { return *schedule_; }
   [[nodiscard]] const DiffusionConfig& config() const { return config_; }

@@ -133,6 +133,7 @@ void PcsDiscriminator::fit(const std::vector<Graph>& samples, int epochs) {
 
 double PcsDiscriminator::predict(const Graph& g) const {
   if (!fitted_) throw std::logic_error("PcsDiscriminator::predict before fit");
+  const nn::NoGradGuard no_grad;  // scoring never backpropagates
   const auto f = pcs_features(g);
   nn::Matrix x(1, kPcsFeatureDim);
   for (std::size_t j = 0; j < kPcsFeatureDim; ++j) {
@@ -148,6 +149,7 @@ std::vector<double> PcsDiscriminator::score_batch(
     throw std::logic_error("PcsDiscriminator::score_batch before fit");
   }
   if (gs.empty()) return {};
+  const nn::NoGradGuard no_grad;  // scoring never backpropagates
   nn::Matrix x(gs.size(), kPcsFeatureDim);
   for (std::size_t i = 0; i < gs.size(); ++i) {
     const auto f = pcs_features(gs[i]);

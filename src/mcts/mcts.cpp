@@ -13,6 +13,7 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/node_type.hpp"
+#include "util/batching.hpp"
 
 namespace syn::mcts {
 
@@ -51,12 +52,12 @@ std::vector<double> Reward::batch(std::span<const Graph> gs,
   std::vector<double> out;
   out.reserve(gs.size());
   if (batch_ && max_batch > 1) {
-    const auto chunk = static_cast<std::size_t>(max_batch);
-    for (std::size_t lo = 0; lo < gs.size(); lo += chunk) {
-      const std::size_t n = std::min(chunk, gs.size() - lo);
-      const std::vector<double> scores = batch_(gs.subspan(lo, n));
-      out.insert(out.end(), scores.begin(), scores.end());
-    }
+    util::for_each_chunk(gs.size(), static_cast<std::size_t>(max_batch),
+                         [&](std::size_t lo, std::size_t n) {
+                           const std::vector<double> scores =
+                               batch_(gs.subspan(lo, n));
+                           out.insert(out.end(), scores.begin(), scores.end());
+                         });
   } else {
     for (const Graph& g : gs) out.push_back(single_(g));
   }

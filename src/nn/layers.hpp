@@ -38,6 +38,11 @@ class Linear : public Module {
   [[nodiscard]] Tensor forward(const Tensor& x) const;
   void collect_parameters(std::vector<Tensor>& out) const override;
 
+  /// Raw parameter values, for fused inference kernels that re-implement
+  /// forward() arithmetic without materializing intermediate tensors.
+  [[nodiscard]] const Matrix& weight_value() const { return weight_.value(); }
+  [[nodiscard]] const Matrix& bias_value() const { return bias_.value(); }
+
  private:
   Tensor weight_;  // in x out
   Tensor bias_;    // 1 x out
@@ -54,6 +59,10 @@ class Mlp : public Module {
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
   void collect_parameters(std::vector<Tensor>& out) const override;
+
+  /// Layer list for fused inference kernels (see Linear::weight_value).
+  [[nodiscard]] const std::vector<Linear>& layers() const { return layers_; }
+  [[nodiscard]] Activation hidden_activation() const { return hidden_; }
 
  private:
   std::vector<Linear> layers_;

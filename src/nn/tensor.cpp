@@ -22,6 +22,8 @@ Tensor::Tensor(Matrix value, bool requires_grad)
 
 namespace {
 
+thread_local int no_grad_depth = 0;
+
 /// True if gradients must flow through this node.
 bool tracked(const std::shared_ptr<TensorNode>& n) {
   return n->requires_grad || n->backward != nullptr;
@@ -30,6 +32,7 @@ bool tracked(const std::shared_ptr<TensorNode>& n) {
 Tensor make_op(Matrix value, std::vector<Tensor> inputs,
                std::function<void(TensorNode&)> backward) {
   Tensor out(std::move(value));
+  if (no_grad_depth > 0) return out;
   bool needs = false;
   for (const auto& t : inputs) needs = needs || tracked(t.node());
   if (needs) {
@@ -63,6 +66,11 @@ void topo(const std::shared_ptr<TensorNode>& n,
 }
 
 }  // namespace
+
+NoGradGuard::NoGradGuard() { ++no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --no_grad_depth; }
+
+bool grad_disabled() { return no_grad_depth > 0; }
 
 void Tensor::backward() {
   assert(rows() == 1 && cols() == 1 && "backward() needs a scalar loss");

@@ -64,6 +64,24 @@ class Tensor {
   std::shared_ptr<detail::TensorNode> node_;
 };
 
+/// RAII inference mode: while a guard is alive on the current thread, ops
+/// record no backward graph — identical values (same arithmetic, same
+/// loops), but no parent links, closures, or gradient bookkeeping are
+/// allocated. Used by the sampling/scoring hot paths (diffusion reverse
+/// steps, discriminator rewards), which never call backward(). Guards
+/// nest; each thread has its own flag, so inference on pool workers never
+/// disturbs concurrent training on another thread.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+/// True while at least one NoGradGuard is alive on this thread.
+bool grad_disabled();
+
 // --- operations --------------------------------------------------------------
 
 Tensor matmul(const Tensor& a, const Tensor& b);

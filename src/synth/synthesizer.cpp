@@ -1,11 +1,129 @@
 #include "synth/synthesizer.hpp"
 
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "synth/bitblast.hpp"
 #include "synth/passes.hpp"
 
 namespace syn::synth {
+
+namespace {
+
+/// 128-bit structural key of a graph: every node's (type, width, param)
+/// and its slot-ordered fan-in list (kNoNode included, so partial wiring
+/// is distinguished) feed two independently-mixed 64-bit lanes. Two graphs
+/// collide only if both lanes collide (~2^-128 per pair) — structurally
+/// identical graphs, and only those, share a cache slot in practice.
+struct CacheKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// splitmix64 finalizer — full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+CacheKey structural_key(const graph::Graph& g) {
+  CacheKey key{0x9ae16a3b2f90404fULL, 0xc3a5c85c97cb3127ULL};
+  const auto feed = [&key](std::uint64_t word) {
+    key.lo = mix64(key.lo ^ word);
+    key.hi = mix64(key.hi + word);
+  };
+  feed(g.num_nodes());
+  for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+    const graph::Node& node = g.node(i);
+    feed((static_cast<std::uint64_t>(node.type) << 48) |
+         (static_cast<std::uint64_t>(node.width) << 32) | node.param);
+    feed(node.fanins.size());
+    for (const graph::NodeId parent : node.fanins) feed(parent);
+  }
+  return key;
+}
+
+/// Mutex-guarded LRU memo for SynthStats. One process-wide instance: the
+/// exact PCS oracle is called from MCTS pool workers, so all access is
+/// serialized here (lookup + insert are microseconds against the
+/// multi-millisecond synthesis flow they save).
+class SynthCache {
+ public:
+  std::optional<SynthStats> lookup(const CacheKey& key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    SynthStats stats = it->second->second;
+    stats.from_cache = true;
+    return stats;
+  }
+
+  void insert(const CacheKey& key, SynthStats stats) {
+    stats.from_cache = false;  // stored entries describe a real run
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ == 0) return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->second = stats;
+      return;
+    }
+    lru_.emplace_front(key, stats);
+    map_.emplace(key, lru_.begin());
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  [[nodiscard]] SynthCacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_, map_.size(), capacity_};
+  }
+
+  void reset(std::size_t capacity) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    capacity_ = capacity;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::list<std::pair<CacheKey, SynthStats>> lru_;  // front = most recent
+  std::unordered_map<CacheKey, std::list<std::pair<CacheKey, SynthStats>>::iterator,
+                     CacheKeyHash>
+      map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::size_t capacity_ = kSynthCacheDefaultCapacity;
+};
+
+SynthCache& cache() {
+  static SynthCache instance;
+  return instance;
+}
+
+}  // namespace
 
 SynthesisResult synthesize(const graph::Graph& g) {
   SynthesisResult result;
@@ -19,11 +137,19 @@ SynthesisResult synthesize(const graph::Graph& g) {
   result.stats.comb_cells = comb_cells(opt.netlist);
   result.stats.area = total_area(opt.netlist);
   result.netlist = std::move(opt.netlist);
+  cache().insert(structural_key(g), result.stats);
   return result;
 }
 
 SynthStats synthesize_stats(const graph::Graph& g) {
+  const CacheKey key = structural_key(g);
+  if (std::optional<SynthStats> hit = cache().lookup(key)) return *hit;
+  // Miss: run the real flow. synthesize() re-deposits under the same key.
   return synthesize(g).stats;
 }
+
+SynthCacheStats synthesis_cache_stats() { return cache().stats(); }
+
+void reset_synthesis_cache(std::size_t capacity) { cache().reset(capacity); }
 
 }  // namespace syn::synth

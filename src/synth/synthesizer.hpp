@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "graph/dcg.hpp"
 #include "synth/netlist.hpp"
@@ -21,6 +22,9 @@ struct SynthStats {
   std::size_t seq_cells = 0;         // flip-flops surviving synthesis
   std::size_t comb_cells = 0;
   double area = 0.0;  // um^2
+  /// True when this result was served by the synthesis memo cache instead
+  /// of a fresh bit-blast + optimize run (see synthesis_cache_stats()).
+  bool from_cache = false;
 
   /// Sequential cell preservation ratio (paper §VI): surviving flip-flops
   /// over pre-synthesis register bits. 0 when the design has no registers.
@@ -43,10 +47,33 @@ struct SynthesisResult {
 };
 
 /// Full flow on a valid graph. Throws std::invalid_argument when fan-ins
-/// are incomplete (run Phase 2 first).
+/// are incomplete (run Phase 2 first). Always runs the real flow (the
+/// netlist is not memoized), but deposits the resulting stats in the memo
+/// cache for later synthesize_stats() calls.
 SynthesisResult synthesize(const graph::Graph& g);
 
-/// Stats-only convenience.
+/// Stats-only oracle, memoized: structurally identical graphs (same node
+/// types, widths, params and slot-ordered fan-ins — the exact serialized
+/// structure, graphs being immutable value objects here) share one
+/// bit-blast + optimize run. The cache is process-wide, thread-safe and
+/// LRU-bounded; repeated-cone PCS evaluation in MCTS and discriminator
+/// labeling hit it heavily.
 SynthStats synthesize_stats(const graph::Graph& g);
+
+/// Counters of the synthesis memo cache (process-wide totals).
+struct SynthCacheStats {
+  std::uint64_t hits = 0;    // synthesize_stats calls served from the cache
+  std::uint64_t misses = 0;  // calls that ran the real flow
+  std::size_t entries = 0;   // cached stats currently held
+  std::size_t capacity = 0;  // LRU bound (0 = caching disabled)
+};
+
+inline constexpr std::size_t kSynthCacheDefaultCapacity = 4096;
+
+[[nodiscard]] SynthCacheStats synthesis_cache_stats();
+
+/// Empties the cache, zeroes the counters and sets the LRU bound.
+/// capacity = 0 disables memoization (every call runs the real flow).
+void reset_synthesis_cache(std::size_t capacity = kSynthCacheDefaultCapacity);
 
 }  // namespace syn::synth

@@ -14,10 +14,14 @@
 #include <utility>
 #include <vector>
 
+#include "core/syncircuit.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/validity.hpp"
 #include "mcts/mcts.hpp"
+#include "rtl/generators.hpp"
+#include "synth/synthesizer.hpp"
 #include "tests/support/fixtures.hpp"
+#include "util/batching.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -168,6 +172,107 @@ TEST(ParallelMcts, SharedPoolMatchesLocalExecution) {
       mcts::optimize_cone(start, reg, cfg, observability_reward, rng_pooled, &pool);
   EXPECT_EQ(inline_run.first, pooled_run.first);
   EXPECT_EQ(inline_run.second, pooled_run.second);
+}
+
+TEST(ForEachChunk, CoversRangeInOrderWithBoundedWindows) {
+  std::vector<std::pair<std::size_t, std::size_t>> windows;
+  util::for_each_chunk(10, 4, [&](std::size_t lo, std::size_t n) {
+    windows.emplace_back(lo, n);
+  });
+  const std::vector<std::pair<std::size_t, std::size_t>> expected{
+      {0, 4}, {4, 4}, {8, 2}};
+  EXPECT_EQ(windows, expected);
+  // Degenerate chunk sizes fall back to per-item windows; empty ranges
+  // invoke nothing.
+  windows.clear();
+  util::for_each_chunk(3, 0, [&](std::size_t lo, std::size_t n) {
+    windows.emplace_back(lo, n);
+  });
+  EXPECT_EQ(windows.size(), 3u);
+  windows.clear();
+  util::for_each_chunk(0, 8, [&](std::size_t lo, std::size_t n) {
+    windows.emplace_back(lo, n);
+  });
+  EXPECT_TRUE(windows.empty());
+}
+
+core::SynCircuitConfig batched_gen_config() {
+  core::SynCircuitConfig cfg;
+  cfg.diffusion.steps = 4;
+  cfg.diffusion.denoiser = {.mpnn_layers = 2, .hidden = 12, .time_dim = 8};
+  cfg.diffusion.epochs = 3;
+  cfg.mcts = {.simulations = 12, .max_depth = 4, .actions_per_state = 4,
+              .max_registers = 3};
+  cfg.seed = 2025;
+  return cfg;
+}
+
+TEST(BatchedGeneration, BitIdenticalToScalarAtAnyBatchAndThreadCount) {
+  core::SynCircuitGenerator gen(batched_gen_config());
+  gen.fit({rtl::make_counter(4), rtl::make_fsm(2, 2), rtl::make_fifo_ctrl(2)});
+
+  // Five items of mixed sizes, each owning stream split_streams(seed)[i].
+  const std::uint64_t seed = 404;
+  std::vector<graph::NodeAttrs> attrs{
+      graph::attrs_of(rtl::make_counter(4)),
+      graph::attrs_of(rtl::make_fsm(2, 2)),
+      graph::attrs_of(rtl::make_counter(6)),
+      graph::attrs_of(rtl::make_fifo_ctrl(2)),
+      graph::attrs_of(rtl::make_counter(4))};
+  const auto seeds = util::split_streams(seed, attrs.size());
+
+  // Reference: the scalar path, one generate() per item on its stream.
+  std::vector<graph::Graph> reference;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    util::Rng rng(seeds[i]);
+    reference.push_back(gen.generate(attrs[i], rng));
+    EXPECT_TRUE(graph::is_valid(reference.back()));
+  }
+
+  // Batch size and thread count are pure throughput knobs.
+  const std::pair<std::size_t, int> shapes[] = {
+      {1, 1}, {2, 1}, {5, 1}, {2, 2}, {3, 8}};
+  for (const auto& [batch, threads] : shapes) {
+    const auto out = gen.generate_batch(
+        attrs, seed, {.batch = batch, .threads = threads});
+    ASSERT_EQ(out.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(out[i], reference[i])
+          << "item " << i << " batch=" << batch << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SynthCache, ConcurrentLookupsStayConsistent) {
+  // The memoized synthesis oracle is shared by MCTS pool workers; hammer
+  // it from many threads and check every answer against an uncached
+  // reference. (This binary runs under TSan in CI.)
+  synth::reset_synthesis_cache();
+  const std::vector<graph::Graph> designs{
+      rtl::make_counter(4), rtl::make_counter(6), rtl::make_fifo_ctrl(2),
+      rtl::make_fsm(2, 2)};
+  std::vector<double> expected_area;
+  synth::reset_synthesis_cache(0);  // record references uncached
+  for (const auto& g : designs) {
+    expected_area.push_back(synth::synthesize_stats(g).area);
+  }
+  synth::reset_synthesis_cache();
+
+  util::ThreadPool pool(4);
+  std::vector<double> areas(64);
+  pool.parallel_for(areas.size(), [&](std::size_t i) {
+    areas[i] = synth::synthesize_stats(designs[i % designs.size()]).area;
+  });
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    EXPECT_EQ(areas[i], expected_area[i % designs.size()]) << "query " << i;
+  }
+  const auto cs = synth::synthesis_cache_stats();
+  EXPECT_EQ(cs.hits + cs.misses, areas.size());
+  EXPECT_EQ(cs.entries, designs.size());
+  // Racing first lookups may each miss (at most one per worker per
+  // design) before the first insert lands; everything later must hit.
+  EXPECT_GE(cs.hits, areas.size() - designs.size() * pool.size());
+  synth::reset_synthesis_cache();
 }
 
 TEST(ParallelMcts, SingleTreeConfigIgnoresThreadKnob) {

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "diffusion/model.hpp"
 #include "diffusion/schedule.hpp"
 #include "graph/adjacency.hpp"
 #include "rtl/generators.hpp"
+#include "util/thread_pool.hpp"
 
 namespace syn::diffusion {
 namespace {
@@ -123,6 +127,112 @@ TEST(Denoiser, SymmetricAblationIsDirectionBlind) {
   const auto l1 = den.decode(h, {{0, 1}}, {0}, 1);
   const auto l2 = den.decode(h, {{1, 0}}, {0}, 1);
   EXPECT_FLOAT_EQ(l1.value()[0], l2.value()[0]);
+}
+
+TEST(Denoiser, PredictBatchBitwiseEqualsScalarPath) {
+  util::Rng rng(6);
+  Denoiser den({.mpnn_layers = 3, .hidden = 16, .time_dim = 8}, rng);
+  // Mixed-size graphs: the packed forward must reproduce each graph's
+  // scalar logits row-for-row despite different node counts per block.
+  const std::vector<graph::Graph> graphs{
+      rtl::make_counter(4), rtl::make_fifo_ctrl(3), rtl::make_counter(6)};
+
+  struct PerGraph {
+    nn::Matrix features;
+    std::vector<std::vector<std::size_t>> parents;
+    std::vector<Pair> pairs;
+    std::vector<std::uint8_t> state;
+  };
+  std::vector<PerGraph> inputs;
+  std::vector<GraphStepInput> batch;
+  for (const auto& g : graphs) {
+    PerGraph item;
+    const auto adj = graph::to_adjacency(g);
+    item.features = Denoiser::node_features(graph::attrs_of(g));
+    item.parents = Denoiser::parent_lists(adj);
+    for (std::uint32_t i = 0; i < g.num_nodes(); ++i) {
+      for (std::uint32_t j = 0; j < g.num_nodes(); ++j) {
+        if (i != j) {
+          item.pairs.push_back({i, j});
+          item.state.push_back(adj.at(i, j) ? 1 : 0);
+        }
+      }
+    }
+    inputs.push_back(std::move(item));
+  }
+  for (const auto& item : inputs) {
+    batch.push_back({&item.features, &item.parents, &item.pairs, &item.state});
+  }
+
+  for (const int t : {1, 3}) {
+    const auto batched = den.predict_batch(batch, t);
+    ASSERT_EQ(batched.size(), graphs.size());
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      const auto h = den.encode(inputs[k].features, inputs[k].parents, t);
+      const auto scalar =
+          den.decode(h, inputs[k].pairs, inputs[k].state, t);
+      ASSERT_EQ(batched[k].rows(), inputs[k].pairs.size());
+      for (std::size_t p = 0; p < inputs[k].pairs.size(); ++p) {
+        // Bitwise equality: EXPECT_EQ on floats, not EXPECT_NEAR.
+        EXPECT_EQ(batched[k].at(p, 0), scalar.value()[p])
+            << "graph " << k << " pair " << p << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(DiffusionModel, SampleBatchBitIdenticalToSequentialScalar) {
+  DiffusionConfig cfg;
+  cfg.steps = 4;
+  cfg.denoiser = {.mpnn_layers = 2, .hidden = 12, .time_dim = 8};
+  cfg.epochs = 5;
+  cfg.seed = 21;
+  DiffusionModel model(cfg);
+  model.train({rtl::make_counter(4), rtl::make_fifo_ctrl(2)});
+
+  // Attribute sets of different sizes, cycled across the chains.
+  const std::vector<graph::NodeAttrs> attr_pool{
+      graph::attrs_of(rtl::make_counter(4)),
+      graph::attrs_of(rtl::make_fifo_ctrl(2)),
+      graph::attrs_of(rtl::make_counter(6))};
+
+  for (const std::size_t chains : {1UL, 4UL, 9UL}) {
+    std::vector<graph::NodeAttrs> attrs;
+    for (std::size_t c = 0; c < chains; ++c) {
+      attrs.push_back(attr_pool[c % attr_pool.size()]);
+    }
+    const auto seeds = util::split_streams(777, chains);
+
+    std::vector<util::Rng> rngs;
+    for (std::size_t c = 0; c < chains; ++c) rngs.emplace_back(seeds[c]);
+    const auto batched = model.sample_batch(attrs, rngs);
+    ASSERT_EQ(batched.size(), chains);
+
+    for (std::size_t c = 0; c < chains; ++c) {
+      util::Rng rng(seeds[c]);  // the chain's own stream, replayed
+      const auto scalar = model.sample(attrs[c], rng);
+      EXPECT_EQ(batched[c].adjacency, scalar.adjacency)
+          << "K=" << chains << " chain " << c;
+      ASSERT_EQ(batched[c].edge_prob.data().size(),
+                scalar.edge_prob.data().size());
+      for (std::size_t i = 0; i < scalar.edge_prob.data().size(); ++i) {
+        EXPECT_EQ(batched[c].edge_prob.data()[i], scalar.edge_prob.data()[i])
+            << "K=" << chains << " chain " << c << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST(DiffusionModel, SampleBatchRejectsMismatchedSpans) {
+  DiffusionConfig cfg;
+  cfg.steps = 3;
+  cfg.denoiser = {.mpnn_layers = 2, .hidden = 8, .time_dim = 8};
+  cfg.epochs = 1;
+  DiffusionModel model(cfg);
+  model.train({rtl::make_counter(4)});
+  std::vector<graph::NodeAttrs> attrs{graph::attrs_of(rtl::make_counter(4))};
+  std::vector<util::Rng> rngs;  // empty: sizes differ
+  EXPECT_THROW(model.sample_batch(attrs, rngs), std::invalid_argument);
 }
 
 TEST(DiffusionModel, TrainingLossDecreases) {

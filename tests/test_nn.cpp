@@ -223,5 +223,26 @@ TEST(Optim, TrainingIsDeterministicForFixedSeed) {
   EXPECT_EQ(train(), train());
 }
 
+TEST(NoGrad, GuardSuppressesGraphButNotValues) {
+  util::Rng rng(5);
+  Mlp mlp({3, 8, 1}, rng);
+  const Matrix x(4, 3, 0.5f);
+  const Tensor with_grad = mlp.forward(Tensor(x));
+  EXPECT_FALSE(grad_disabled());
+  Tensor without_grad;
+  {
+    const NoGradGuard guard;
+    EXPECT_TRUE(grad_disabled());
+    without_grad = mlp.forward(Tensor(x));
+  }
+  EXPECT_FALSE(grad_disabled());
+  // Identical values (same arithmetic)...
+  ASSERT_EQ(without_grad.value().data(), with_grad.value().data());
+  // ...but no backward graph was recorded under the guard.
+  EXPECT_EQ(without_grad.node()->parents.size(), 0u);
+  EXPECT_EQ(without_grad.node()->backward, nullptr);
+  EXPECT_GT(with_grad.node()->parents.size(), 0u);
+}
+
 }  // namespace
 }  // namespace syn::nn

@@ -276,5 +276,100 @@ TEST(Synthesizer, StatsAreInternallyConsistent) {
   EXPECT_GT(result.stats.gates_elaborated, result.stats.gates_final);
 }
 
+/// RAII: every cache test starts from an empty cache and restores the
+/// default capacity afterwards, so suites never observe each other's
+/// counters.
+struct CacheReset {
+  explicit CacheReset(std::size_t capacity = kSynthCacheDefaultCapacity) {
+    reset_synthesis_cache(capacity);
+  }
+  ~CacheReset() { reset_synthesis_cache(); }
+};
+
+TEST(SynthCache, HitMissAccountingAndBitwiseEqualStats) {
+  const CacheReset guard;
+  const auto g = rtl::make_alu(8);
+  const SynthStats fresh = synthesize_stats(g);
+  EXPECT_FALSE(fresh.from_cache);
+  auto cs = synthesis_cache_stats();
+  EXPECT_EQ(cs.hits, 0u);
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.entries, 1u);
+
+  // A structural copy (even under another name) must hit and return the
+  // exact same numbers.
+  graph::Graph copy = g;
+  copy.set_name("same_structure_other_name");
+  const SynthStats cached = synthesize_stats(copy);
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(cached.gates_elaborated, fresh.gates_elaborated);
+  EXPECT_EQ(cached.gates_final, fresh.gates_final);
+  EXPECT_EQ(cached.seq_cells, fresh.seq_cells);
+  EXPECT_EQ(cached.comb_cells, fresh.comb_cells);
+  EXPECT_EQ(cached.area, fresh.area);  // bitwise: same double
+  EXPECT_EQ(cached.scpr(), fresh.scpr());
+  EXPECT_EQ(cached.pcs(), fresh.pcs());
+  cs = synthesis_cache_stats();
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.misses, 1u);
+
+  // A structurally different graph is a miss, not a collision.
+  synthesize_stats(rtl::make_alu(16));
+  cs = synthesis_cache_stats();
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.misses, 2u);
+  EXPECT_EQ(cs.entries, 2u);
+}
+
+TEST(SynthCache, FullSynthesizeDepositsStatsForLaterHits) {
+  const CacheReset guard;
+  const auto g = rtl::make_counter(6);
+  const auto full = synthesize(g);  // not a stats query: no miss counted
+  const SynthStats stats = synthesize_stats(g);
+  EXPECT_TRUE(stats.from_cache);
+  EXPECT_EQ(stats.area, full.stats.area);
+  const auto cs = synthesis_cache_stats();
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.misses, 0u);
+}
+
+TEST(SynthCache, LruBoundEvictsLeastRecentlyUsed) {
+  const CacheReset guard(2);
+  const auto a = rtl::make_counter(4);
+  const auto b = rtl::make_counter(5);
+  const auto c = rtl::make_counter(6);
+  synthesize_stats(a);  // LRU order (front..back): a
+  synthesize_stats(b);  // b a
+  EXPECT_TRUE(synthesize_stats(a).from_cache);  // a b
+  synthesize_stats(c);                          // c a — b evicted
+  EXPECT_EQ(synthesis_cache_stats().entries, 2u);
+  EXPECT_TRUE(synthesize_stats(a).from_cache);
+  EXPECT_TRUE(synthesize_stats(c).from_cache);
+  // b's miss re-inserts it (checked last so it can't evict a live probe).
+  EXPECT_FALSE(synthesize_stats(b).from_cache) << "b should have been evicted";
+}
+
+TEST(SynthCache, ZeroCapacityDisablesMemoization) {
+  const CacheReset guard(0);
+  const auto g = rtl::make_counter(4);
+  EXPECT_FALSE(synthesize_stats(g).from_cache);
+  EXPECT_FALSE(synthesize_stats(g).from_cache);
+  const auto cs = synthesis_cache_stats();
+  EXPECT_EQ(cs.hits, 0u);
+  EXPECT_EQ(cs.misses, 2u);
+  EXPECT_EQ(cs.entries, 0u);
+}
+
+TEST(SynthCache, DistinguishesParamAndWidthTwins) {
+  const CacheReset guard;
+  // Same topology, different node attributes must key differently.
+  const auto narrow = rtl::make_counter(4);
+  const auto wide = rtl::make_counter(8);
+  const SynthStats s_narrow = synthesize_stats(narrow);
+  const SynthStats s_wide = synthesize_stats(wide);
+  EXPECT_FALSE(s_wide.from_cache);
+  EXPECT_NE(s_narrow.gates_final, s_wide.gates_final);
+}
+
 }  // namespace
 }  // namespace syn::synth
