@@ -1,229 +1,176 @@
 // Dataset generation: the paper's headline use case — produce an
 // unlimited stream of valid synthetic RTL designs for ML training.
 //
-// This is the batched, resumable driver over
-// SynCircuitGenerator::generate_batch:
+// This is a thin CLI over the service layer
+// (service::GenerationService + service::ShardedDiskSink):
 //
-//   generate_dataset [count] [--out=DIR] [--seed=S] [--batch=K]
-//                    [--threads=T] [--fresh]
+//   generate_dataset [count] [--backend=NAME] [--out=DIR] [--seed=S]
+//                    [--batch=K] [--threads=T] [--shard-size=N]
+//                    [--queue=N] [--fresh]
 //
-// Design i is driven entirely by the splitmix64 stream
+// Any registered backend generates ("syncircuit" default; "graphrnn",
+// "dvae", "graphmaker", "sparsedigress" — see core/registry.hpp). Design
+// i is driven entirely by the splitmix64 stream
 // util::split_streams(seed, count)[i], so the output set is bit-identical
 // at any --batch / --threads, and the RNG "state" to checkpoint is just
-// (seed, next index). After every completed batch the driver appends one
-// JSON record per design to DIR/manifest.jsonl and rewrites
-// DIR/checkpoint.txt; re-running with the same --out resumes where the
-// previous run stopped (--fresh discards the checkpoint). On completion
-// DIR/manifest.json summarizes the run.
-#include <algorithm>
+// (seed, next index). Designs stream to the sharded disk sink with
+// backpressure (finished designs are synthesized for manifest stats and
+// written while the next group generates); the sink checkpoints after
+// every group, so re-running with the same --out resumes where the
+// previous run stopped (--fresh discards the checkpoint).
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "core/syncircuit.hpp"
-#include "graph/validity.hpp"
+#include "core/registry.hpp"
 #include "rtl/generators.hpp"
-#include "rtl/verilog.hpp"
+#include "service/dataset_sink.hpp"
+#include "service/generation_service.hpp"
 #include "synth/synthesizer.hpp"
-#include "util/batching.hpp"
-#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace syn;
 
 struct Options {
-  int count = 5;
+  std::size_t count = 5;
+  std::string backend = "syncircuit";
   std::filesystem::path out = "synthetic_dataset";
   std::uint64_t seed = 99;
   std::size_t batch = 8;
   int threads = 1;
+  std::size_t shard_size = 64;
+  std::size_t queue = 32;
   bool fresh = false;
 };
 
-/// Reads "key=value" lines; returns the checkpointed next index when the
-/// file exists and its seed matches (a different seed means a different
-/// dataset — start over).
-int read_checkpoint(const std::filesystem::path& path, std::uint64_t seed) {
-  std::ifstream in(path);
-  if (!in) return 0;
-  std::uint64_t file_seed = 0;
-  int next = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto eq = line.find('=');
-    if (eq == std::string::npos) continue;
-    const std::string key = line.substr(0, eq);
-    const std::string value = line.substr(eq + 1);
-    if (key == "seed") file_seed = std::strtoull(value.c_str(), nullptr, 10);
-    if (key == "next") next = std::atoi(value.c_str());
+int usage() {
+  std::cerr << "usage: generate_dataset [count] [--backend=NAME]"
+               " [--out=DIR] [--seed=S] [--batch=K] [--threads=T]"
+               " [--shard-size=N] [--queue=N] [--fresh]\n"
+               "backends:";
+  for (const auto& name : core::registered_generators()) {
+    std::cerr << " " << name;
   }
-  if (file_seed != seed) {
-    std::cerr << "checkpoint seed " << file_seed << " != --seed=" << seed
-              << "; ignoring checkpoint\n";
-    return 0;
-  }
-  return next;
-}
-
-void write_checkpoint(const std::filesystem::path& path, std::uint64_t seed,
-                      int next, int count) {
-  std::ofstream out(path, std::ios::trunc);
-  out << "seed=" << seed << "\nnext=" << next << "\ncount=" << count << "\n";
-}
-
-/// Drops manifest records at or beyond `next`: a run interrupted between
-/// appending a group's records and committing its checkpoint replays that
-/// group on resume, and the replayed designs must not appear twice.
-void prune_manifest(const std::filesystem::path& path, int next) {
-  std::ifstream in(path);
-  if (!in) return;
-  std::string kept;
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto tag = line.find("\"index\":");
-    if (tag == std::string::npos) continue;
-    if (std::atoi(line.c_str() + tag + 8) < next) kept += line + "\n";
-  }
-  in.close();
-  std::ofstream(path, std::ios::trunc) << kept;
+  std::cerr << "\n";
+  return 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
+  long long count_arg = static_cast<long long>(opt.count);
+  long long batch_arg = static_cast<long long>(opt.batch);
+  long long shard_arg = static_cast<long long>(opt.shard_size);
+  long long queue_arg = static_cast<long long>(opt.queue);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--out=", 0) == 0) {
+    if (arg.rfind("--backend=", 0) == 0) {
+      opt.backend = arg.substr(10);
+    } else if (arg.rfind("--out=", 0) == 0) {
       opt.out = arg.substr(6);
     } else if (arg.rfind("--seed=", 0) == 0) {
       opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--batch=", 0) == 0) {
-      opt.batch = static_cast<std::size_t>(std::atoi(arg.c_str() + 8));
+      batch_arg = std::atoll(arg.c_str() + 8);
     } else if (arg.rfind("--threads=", 0) == 0) {
       opt.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--shard-size=", 0) == 0) {
+      shard_arg = std::atoll(arg.c_str() + 13);
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      queue_arg = std::atoll(arg.c_str() + 8);
     } else if (arg == "--fresh") {
       opt.fresh = true;
     } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "usage: generate_dataset [count] [--out=DIR] [--seed=S]"
-                   " [--batch=K] [--threads=T] [--fresh]\n";
-      return 1;
+      return usage();
     } else {
-      opt.count = std::atoi(arg.c_str());
+      count_arg = std::atoll(arg.c_str());
     }
   }
-  if (opt.count <= 0 || opt.batch == 0) {
-    std::cerr << "count and --batch must be positive\n";
+  // Validate before the signed -> size_t casts: a negative value must be
+  // an immediate usage error, not a wrapped huge count.
+  if (count_arg <= 0 || batch_arg <= 0 || queue_arg <= 0 || shard_arg < 0) {
+    std::cerr << "count, --batch and --queue must be positive"
+                 " (--shard-size may be 0 for a flat layout)\n";
     return 1;
   }
+  opt.count = static_cast<std::size_t>(count_arg);
+  opt.batch = static_cast<std::size_t>(batch_arg);
+  opt.shard_size = static_cast<std::size_t>(shard_arg);
+  opt.queue = static_cast<std::size_t>(queue_arg);
 
-  std::filesystem::create_directories(opt.out);
-  const auto checkpoint_path = opt.out / "checkpoint.txt";
-  const auto manifest_path = opt.out / "manifest.jsonl";
-  int next = opt.fresh ? 0 : read_checkpoint(checkpoint_path, opt.seed);
-  if (next >= opt.count) {
-    std::cout << "checkpoint says all " << opt.count
-              << " designs are done — nothing to do (use --fresh to "
-                 "regenerate)\n";
-    return 0;
-  }
-  if (opt.fresh) {
-    // Discard BOTH files up front: a stale checkpoint surviving a crashed
-    // --fresh run would make the next invocation believe the (deleted)
-    // dataset is complete.
-    std::filesystem::remove(manifest_path);
-    std::filesystem::remove(checkpoint_path);
-  }
-  if (next > 0) {
-    std::cout << "resuming at design " << next << "/" << opt.count << "\n";
-    prune_manifest(manifest_path, next);
-  }
+  try {
+    // Sink first: a completed dataset must exit in milliseconds, before
+    // the (minutes-long) model fit.
+    service::ShardedDiskSink sink({.dir = opt.out,
+                                   .seed = opt.seed,
+                                   .shard_size = opt.shard_size,
+                                   .fresh = opt.fresh,
+                                   .with_synth_stats = true,
+                                   .log = &std::cout});
+    core::BackendConfig backend_cfg;
+    backend_cfg.seed = 7;
+    backend_cfg.syncircuit.diffusion.steps = 6;
+    backend_cfg.syncircuit.diffusion.denoiser = {
+        .mpnn_layers = 3, .hidden = 32, .time_dim = 16};
+    backend_cfg.syncircuit.diffusion.epochs = 8;
+    backend_cfg.syncircuit.mcts = {.simulations = 40, .max_depth = 8,
+                                   .actions_per_state = 8,
+                                   .max_registers = 6};
+    const auto generator = core::make_generator(opt.backend, backend_cfg);
+    service::GenerationService svc(
+        *generator,
+        {.batch = {.batch = opt.batch, .threads = opt.threads},
+         .queue_capacity = opt.queue});
 
-  std::cout << "building the 22-design training corpus...\n";
-  const auto corpus = rtl::corpus_graphs({.seed = 1});
-
-  core::SynCircuitConfig config;
-  config.diffusion.steps = 6;
-  config.diffusion.denoiser = {.mpnn_layers = 3, .hidden = 32, .time_dim = 16};
-  config.diffusion.epochs = 8;
-  config.mcts = {.simulations = 40, .max_depth = 8, .actions_per_state = 8,
-                 .max_registers = 6};
-  config.seed = 7;
-  core::SynCircuitGenerator generator(config);
-  std::cout << "fitting SynCircuit (diffusion + discriminator)...\n";
-  generator.fit(corpus);
-
-  // Stream i drives design i completely; the prefix property of
-  // split_streams means a later run with a larger count reuses the same
-  // per-design streams, so resumed and extended datasets stay coherent.
-  const std::vector<std::uint64_t> streams =
-      util::split_streams(opt.seed, static_cast<std::size_t>(opt.count));
-
-  // Attributes are drawn per design from a stream-derived RNG (not the
-  // generation stream itself, which generate_batch consumes).
-  std::vector<graph::NodeAttrs> attrs(static_cast<std::size_t>(opt.count));
-  for (int i = next; i < opt.count; ++i) {
-    std::uint64_t s = streams[static_cast<std::size_t>(i)];
-    util::Rng attr_rng(util::splitmix64(s));
-    attrs[static_cast<std::size_t>(i)] = generator.attr_sampler().sample(
-        60 + 20 * (static_cast<std::size_t>(i) % 3), attr_rng);
-  }
-
-  const core::GenerateBatchOptions gen_opts{.batch = opt.batch,
-                                            .threads = opt.threads};
-  // Checkpoint granularity: one generate_batch call per group of
-  // batch * shards designs, so every shard has a chunk to run.
-  const std::size_t group =
-      opt.batch * static_cast<std::size_t>(std::max(opt.threads, 1));
-  const std::size_t remaining = static_cast<std::size_t>(opt.count - next);
-  bool failed = false;
-  util::for_each_chunk(remaining, group, [&](std::size_t lo, std::size_t n) {
-    if (failed) return;
-    const std::size_t base = static_cast<std::size_t>(next) + lo;
-    const std::vector<graph::Graph> graphs = generator.generate_batch(
-        {attrs.data() + base, n}, {streams.data() + base, n}, gen_opts);
-    std::ofstream manifest(manifest_path, std::ios::app);
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t i = base + k;
-      graph::Graph g = graphs[k];
-      g.set_name("synthetic_" + std::to_string(i));
-      if (!graph::is_valid(g)) {
-        std::cerr << "internal error: invalid circuit generated\n";
-        failed = true;
-        return;
-      }
-      const auto stats = synth::synthesize_stats(g);
-      const auto path = opt.out / (g.name() + ".v");
-      std::ofstream(path) << rtl::to_verilog(g);
-      manifest << "{\"index\":" << i << ",\"file\":\"" << g.name()
-               << ".v\",\"chain_seed\":" << streams[i]
-               << ",\"nodes\":" << g.num_nodes()
-               << ",\"edges\":" << g.num_edges()
-               << ",\"gates\":" << stats.gates_final << ",\"scpr\":"
-               << stats.scpr() << ",\"pcs\":" << stats.pcs() << "}\n";
-      std::cout << path.string() << ": " << g.num_nodes() << " nodes, "
-                << stats.gates_final << " gates, SCPR "
-                << static_cast<int>(stats.scpr() * 100) << "%\n";
+    // Completed datasets exit here, before the (minutes-long) fit; the
+    // service still re-finalizes an exactly-complete checkpoint, so a
+    // crash that lost manifest.json is repaired by a cheap rerun.
+    if (sink.resume_index() >= opt.count) {
+      svc.run({.count = opt.count,
+               .seed = opt.seed,
+               .attrs = [](std::size_t, util::Rng&) {
+                 return graph::NodeAttrs{};  // never invoked: 0 to produce
+               }},
+              sink);
+      std::cout << "checkpoint says all " << opt.count
+                << " designs are done — nothing to do (use --fresh to "
+                   "regenerate)\n";
+      return 0;
     }
-    write_checkpoint(checkpoint_path, opt.seed,
-                     static_cast<int>(base + n), opt.count);
-  });
-  if (failed) return 1;
+    if (sink.resume_index() > 0) {
+      std::cout << "resuming at design " << sink.resume_index() << "/"
+                << opt.count << "\n";
+    }
 
-  std::ofstream summary(opt.out / "manifest.json", std::ios::trunc);
-  summary << "{\"generator\":\"" << generator.name() << "\",\"seed\":"
-          << opt.seed << ",\"count\":" << opt.count << ",\"batch\":"
-          << opt.batch << ",\"threads\":" << opt.threads
-          << ",\"designs\":\"manifest.jsonl\"}\n";
-  const auto cache = synth::synthesis_cache_stats();
-  std::cout << "done — " << opt.count << " synthesizable designs in "
-            << opt.out.string() << " (synthesis cache: " << cache.hits
-            << " hits / " << cache.misses << " misses)\n";
-  return 0;
+    std::cout << "building the 22-design training corpus...\n";
+    const auto corpus = rtl::corpus_graphs({.seed = 1});
+    std::cout << "fitting " << generator->name() << "...\n";
+    generator->fit(corpus);
+
+    core::AttrSampler sampler;
+    sampler.fit(corpus);
+    const auto stats = svc.run(
+        {.count = opt.count,
+         .seed = opt.seed,
+         .attrs =
+             [&](std::size_t i, util::Rng& rng) {
+               return sampler.sample(60 + 20 * (i % 3), rng);
+             }},
+        sink);
+
+    const auto cache = synth::synthesis_cache_stats();
+    std::cout << "done — " << stats.produced << " designs this run, "
+              << opt.count << " total in " << opt.out.string()
+              << " (synthesis cache: " << cache.hits << " hits / "
+              << cache.misses << " misses)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }

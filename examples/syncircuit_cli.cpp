@@ -2,6 +2,8 @@
 // user scripting dataset generation would drive.
 //
 //   syncircuit_cli gen   [count] [nodes] [seed]   generate Verilog designs
+//       [--backend=NAME]   generator backend (syncircuit, graphrnn, dvae,
+//                          graphmaker, sparsedigress — via core registry)
 //       [--threads=N]      MCTS executor width (output is N-invariant)
 //       [--trees=N]        root-parallel trees per cone (affects output)
 //       [--reward-batch=N] graphs per discriminator forward pass
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/registry.hpp"
 #include "core/syncircuit.hpp"
 #include "graph/export.hpp"
 #include "graph/validity.hpp"
@@ -41,6 +44,7 @@ graph::Graph load_verilog(const std::string& path) {
 }
 
 struct GenOptions {
+  std::string backend = "syncircuit";  // any name the core registry knows
   int threads = 1;       // executor width only — never changes the output
   int trees = 8;         // root-parallel trees (fixed: output is stable
                          // whatever --threads is)
@@ -49,23 +53,28 @@ struct GenOptions {
 
 int cmd_gen(int count, std::size_t nodes, std::uint64_t seed,
             const GenOptions& opts) {
-  std::cout << "training SynCircuit on the built-in corpus...\n";
-  core::SynCircuitConfig config;
-  config.diffusion.steps = 6;
-  config.diffusion.denoiser = {.mpnn_layers = 3, .hidden = 32, .time_dim = 16};
-  config.diffusion.epochs = 10;
-  config.mcts = {.simulations = 60, .max_depth = 10, .actions_per_state = 10,
-                 .max_registers = 8};
-  config.mcts.root_trees = opts.trees;
-  config.mcts.threads = opts.threads;
-  config.mcts.reward_batch = opts.reward_batch;
+  core::BackendConfig config;
   config.seed = seed;
-  core::SynCircuitGenerator gen(config);
-  gen.fit(rtl::corpus_graphs({.seed = 1}));
+  config.syncircuit.diffusion.steps = 6;
+  config.syncircuit.diffusion.denoiser = {.mpnn_layers = 3, .hidden = 32,
+                                          .time_dim = 16};
+  config.syncircuit.diffusion.epochs = 10;
+  config.syncircuit.mcts = {.simulations = 60, .max_depth = 10,
+                            .actions_per_state = 10, .max_registers = 8};
+  config.syncircuit.mcts.root_trees = opts.trees;
+  config.syncircuit.mcts.threads = opts.threads;
+  config.syncircuit.mcts.reward_batch = opts.reward_batch;
+  const auto gen = core::make_generator(opts.backend, config);
+  std::cout << "training " << gen->name()
+            << " on the built-in corpus...\n";
+  const auto corpus = rtl::corpus_graphs({.seed = 1});
+  gen->fit(corpus);
+  core::AttrSampler sampler;
+  sampler.fit(corpus);
   util::Rng rng(seed ^ 0xc11);
   std::filesystem::create_directories("out");
   for (int i = 0; i < count; ++i) {
-    graph::Graph g = gen.generate(gen.attr_sampler().sample(nodes, rng), rng);
+    graph::Graph g = gen->generate(sampler.sample(nodes, rng), rng);
     g.set_name("syn_" + std::to_string(seed) + "_" + std::to_string(i));
     const auto path = "out/" + g.name() + ".v";
     std::ofstream(path) << rtl::to_verilog(g);
@@ -137,7 +146,9 @@ int main(int argc, char** argv) {
       std::vector<std::string> positional;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--threads=", 0) == 0) {
+        if (arg.rfind("--backend=", 0) == 0) {
+          opts.backend = arg.substr(10);
+        } else if (arg.rfind("--threads=", 0) == 0) {
           opts.threads = std::atoi(arg.c_str() + 10);
         } else if (arg.rfind("--trees=", 0) == 0) {
           opts.trees = std::atoi(arg.c_str() + 8);
@@ -168,8 +179,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cerr << "usage: syncircuit_cli gen [count] [nodes] [seed]"
-               " [--threads=N] [--trees=N] [--reward-batch=N]\n"
+               " [--backend=NAME] [--threads=N] [--trees=N]"
+               " [--reward-batch=N]\n"
                "       syncircuit_cli stats|synth|dot <file.v>\n"
-               "       syncircuit_cli corpus\n";
+               "       syncircuit_cli corpus\n"
+               "backends:";
+  for (const auto& name : syn::core::registered_generators()) {
+    std::cerr << " " << name;
+  }
+  std::cerr << "\n";
   return 1;
 }

@@ -1,0 +1,123 @@
+// Implementation of the core backend registry (see core/registry.hpp for
+// why it is compiled into syn_baselines: the factory constructs baseline
+// types, which live above core in the dependency DAG).
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/dvae.hpp"
+#include "baselines/graphmaker.hpp"
+#include "baselines/graphrnn.hpp"
+#include "baselines/sparsedigress.hpp"
+
+namespace syn::core {
+
+namespace {
+
+std::string normalize(std::string_view name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    key.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  // Display aliases: the paper writes "GraphMaker-v" / "SparseDigress-v"
+  // (the -v marks the circuit-adapted variant) and "D-VAE".
+  if (key == "graphmaker-v") return "graphmaker";
+  if (key == "sparsedigress-v") return "sparsedigress";
+  if (key == "d-vae") return "dvae";
+  return key;
+}
+
+std::unique_ptr<GeneratorModel> make_syncircuit(const BackendConfig& cfg) {
+  SynCircuitConfig sc = cfg.syncircuit;
+  sc.seed = cfg.seed;
+  if (cfg.epochs > 0) sc.diffusion.epochs = cfg.epochs;
+  if (cfg.hidden > 0) sc.diffusion.denoiser.hidden = cfg.hidden;
+  return std::make_unique<SynCircuitGenerator>(sc);
+}
+
+/// Every baseline config exposes the same {seed, epochs, hidden} knobs,
+/// so one template maps BackendConfig onto all four model types.
+template <typename Model, typename Config>
+std::unique_ptr<GeneratorModel> make_baseline(const BackendConfig& cfg) {
+  Config c;
+  c.seed = cfg.seed;
+  if (cfg.epochs > 0) c.epochs = cfg.epochs;
+  if (cfg.hidden > 0) c.hidden = cfg.hidden;
+  return std::make_unique<Model>(c);
+}
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, GeneratorFactory> factories;
+};
+
+Registry& registry() {
+  // Function-local static: the five builtins are registered on first use,
+  // which sidesteps static-initialization-order and archive-member
+  // dead-stripping issues entirely.
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    reg->factories["syncircuit"] = make_syncircuit;
+    reg->factories["graphrnn"] =
+        make_baseline<baselines::GraphRnn, baselines::GraphRnnConfig>;
+    reg->factories["dvae"] =
+        make_baseline<baselines::Dvae, baselines::DvaeConfig>;
+    reg->factories["graphmaker"] =
+        make_baseline<baselines::GraphMaker, baselines::GraphMakerConfig>;
+    reg->factories["sparsedigress"] =
+        make_baseline<baselines::SparseDigress,
+                      baselines::SparseDigressConfig>;
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+std::unique_ptr<GeneratorModel> make_generator(std::string_view name,
+                                               const BackendConfig& config) {
+  const std::string key = normalize(name);
+  GeneratorFactory factory;
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.factories.find(key);
+    if (it == reg.factories.end()) {
+      std::string known;
+      for (const auto& [k, _] : reg.factories) {
+        if (!known.empty()) known += ", ";
+        known += k;
+      }
+      throw std::invalid_argument("unknown generator backend \"" +
+                                  std::string(name) + "\" (available: " +
+                                  known + ")");
+    }
+    factory = it->second;
+  }
+  // Invoke outside the lock: factories may be arbitrarily expensive.
+  return factory(config);
+}
+
+void register_generator(const std::string& name, GeneratorFactory factory) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.factories[normalize(name)] = std::move(factory);
+}
+
+std::vector<std::string> registered_generators() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [k, _] : reg.factories) names.push_back(k);
+  return names;  // std::map iteration is already sorted
+}
+
+}  // namespace syn::core

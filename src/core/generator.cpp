@@ -2,13 +2,65 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "util/batching.hpp"
+#include "util/thread_pool.hpp"
 
 namespace syn::core {
 
+using graph::Graph;
 using graph::NodeAttrs;
 using graph::NodeType;
+
+std::vector<Graph> GeneratorModel::generate_batch(
+    std::span<const NodeAttrs> attrs_list, std::span<const std::uint64_t> seeds,
+    const GenerateBatchOptions& options) {
+  if (attrs_list.size() != seeds.size()) {
+    throw std::invalid_argument("generate_batch: attrs/seeds size mismatch");
+  }
+  const std::size_t count = attrs_list.size();
+  std::vector<Graph> out(count);
+  if (count == 0) return out;
+
+  // Chunk layout up front; boundaries never influence results because
+  // every item owns the whole RNG stream Rng(seeds[i]) — chunking only
+  // decides which items travel together as one pool task.
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  util::for_each_chunk(count, options.batch,
+                       [&](std::size_t lo, std::size_t n) {
+                         chunks.emplace_back(lo, n);
+                       });
+
+  const auto run_chunk = [&](std::size_t lo, std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      util::Rng rng(seeds[lo + k]);
+      out[lo + k] = generate(attrs_list[lo + k], rng);
+    }
+  };
+
+  if (options.threads > 1 && chunks.size() > 1) {
+    util::ThreadPool pool(static_cast<std::size_t>(options.threads));
+    pool.parallel_for(chunks.size(), [&](std::size_t c) {
+      run_chunk(chunks[c].first, chunks[c].second);
+    });
+  } else {
+    for (const auto& [lo, n] : chunks) run_chunk(lo, n);
+  }
+  return out;
+}
+
+std::vector<Graph> GeneratorModel::generate_batch(
+    std::span<const NodeAttrs> attrs_list, std::uint64_t seed,
+    const GenerateBatchOptions& options) {
+  const std::vector<std::uint64_t> seeds =
+      util::split_streams(seed, attrs_list.size());
+  return generate_batch(attrs_list, seeds, options);
+}
 
 void AttrSampler::fit(const std::vector<graph::Graph>& corpus) {
   pool_.clear();
@@ -22,6 +74,16 @@ void AttrSampler::fit(const std::vector<graph::Graph>& corpus) {
 
 NodeAttrs AttrSampler::sample(std::size_t num_nodes, util::Rng& rng) const {
   if (!fitted()) throw std::logic_error("AttrSampler::sample before fit");
+  // The structural guarantee patches one input, one output and one
+  // register in at random positions; with fewer than 4 nodes the three
+  // patches can collide irreparably (and 0 nodes would index an empty
+  // vector). Reject up front, before any randomness is consumed.
+  if (num_nodes < 4) {
+    throw std::invalid_argument(
+        "AttrSampler::sample: num_nodes=" + std::to_string(num_nodes) +
+        " is too small — guaranteeing at least one input, one output and "
+        "one register requires num_nodes >= 4");
+  }
   NodeAttrs attrs;
   attrs.types.resize(num_nodes);
   attrs.widths.resize(num_nodes);
@@ -43,8 +105,6 @@ NodeAttrs AttrSampler::sample(std::size_t num_nodes, util::Rng& rng) const {
   if (!has_in) force(NodeType::kInput);
   if (!has_out) force(NodeType::kOutput);
   if (!has_reg) force(NodeType::kReg);
-  // The three patches can collide only when num_nodes < 3; require more.
-  if (num_nodes < 4) throw std::invalid_argument("need >= 4 nodes");
   // Re-check after patching (collisions possible); repair deterministically.
   auto ensure = [&](NodeType t) {
     for (std::size_t i = 0; i < num_nodes; ++i) {

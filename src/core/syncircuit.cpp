@@ -208,14 +208,6 @@ std::vector<Graph> SynCircuitGenerator::generate_batch(
   return out;
 }
 
-std::vector<Graph> SynCircuitGenerator::generate_batch(
-    std::span<const NodeAttrs> attrs_list, std::uint64_t seed,
-    const GenerateBatchOptions& options) {
-  const std::vector<std::uint64_t> seeds =
-      util::split_streams(seed, attrs_list.size());
-  return generate_batch(attrs_list, seeds, options);
-}
-
 Graph SynCircuitGenerator::optimize_only(const Graph& gval,
                                          util::Rng& rng) const {
   if (!fitted_) throw std::logic_error("SynCircuit: optimize before fit");

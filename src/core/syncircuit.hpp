@@ -38,18 +38,6 @@ struct SynCircuitConfig {
   std::uint64_t seed = 1;
 };
 
-/// Knobs of the batched dataset driver (SynCircuitGenerator::
-/// generate_batch). Neither changes results — batch and thread count are
-/// pure throughput levers.
-struct GenerateBatchOptions {
-  /// Diffusion chains advanced per packed denoiser forward (Phase 1
-  /// lockstep batch). <= 1 degrades to per-item sampling.
-  std::size_t batch = 8;
-  /// util::ThreadPool shards running whole chunks concurrently (<= 1 runs
-  /// chunks inline on the caller).
-  int threads = 1;
-};
-
 class SynCircuitGenerator : public GeneratorModel {
  public:
   explicit SynCircuitGenerator(SynCircuitConfig config);
@@ -59,23 +47,19 @@ class SynCircuitGenerator : public GeneratorModel {
                         util::Rng& rng) override;
   [[nodiscard]] std::string name() const override;
 
-  /// Batched, sharded generation: one circuit per attrs entry. Item i is
-  /// driven entirely by its own util::Rng seeded with seeds[i], so
-  /// result[i] is bit-identical to generate(attrs_list[i], util::Rng(
-  /// seeds[i])) — at any batch size and any thread count. Phase 1 runs K
-  /// chains per chunk through DiffusionModel::sample_batch (one packed
-  /// MPNN forward per denoising step); Phases 2–3 run per item.
+  // The (attrs, seed, options) convenience overload from the base class.
+  using GeneratorModel::generate_batch;
+
+  /// Packed override of the batch-first contract (same per-item RNG
+  /// semantics as the base: result[i] is bit-identical to
+  /// generate(attrs_list[i], util::Rng(seeds[i])) at any batch size and
+  /// thread count). Phase 1 runs K chains per chunk through
+  /// DiffusionModel::sample_batch (one packed MPNN forward per denoising
+  /// step); Phases 2–3 run per item.
   [[nodiscard]] std::vector<graph::Graph> generate_batch(
       std::span<const graph::NodeAttrs> attrs_list,
       std::span<const std::uint64_t> seeds,
-      const GenerateBatchOptions& options = {});
-
-  /// Convenience overload: per-item seeds from util::split_streams(seed,
-  /// attrs_list.size()) — the same splitmix64 streams the dataset example
-  /// checkpoints.
-  [[nodiscard]] std::vector<graph::Graph> generate_batch(
-      std::span<const graph::NodeAttrs> attrs_list, std::uint64_t seed,
-      const GenerateBatchOptions& options = {});
+      const GenerateBatchOptions& options = {}) override;
 
   /// All three phase outputs, for the experiments that inspect
   /// intermediate stages (Fig 4 compares G_val with G_opt).

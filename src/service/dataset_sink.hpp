@@ -1,0 +1,135 @@
+// Dataset sinks: where the generation service streams finished designs.
+//
+// The sink owns everything that used to be inlined in
+// examples/generate_dataset.cpp — sharded output directories, manifest
+// writing, and checkpointed resume — behind a small interface, so the
+// service (and the future daemon/socket front end) can target disk, a
+// test buffer, or any other store interchangeably.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/dcg.hpp"
+
+namespace syn::service {
+
+/// One finished design as it travels producer -> queue -> sink.
+struct DesignRecord {
+  /// Global dataset index; design `index` is always driven by stream
+  /// util::split_streams(seed, count)[index].
+  std::size_t index = 0;
+  /// The splitmix64 stream seed that drove this design end to end.
+  std::uint64_t chain_seed = 0;
+  graph::Graph graph;
+};
+
+/// Run-level metadata for the completion summary.
+struct DatasetSummary {
+  std::string generator;
+  std::uint64_t seed = 0;
+  std::size_t count = 0;
+  std::size_t batch = 0;
+  int threads = 1;
+};
+
+/// Receives a stream of finished designs. The service calls write() from
+/// ONE consumer thread, in ascending index order; checkpoint(next) marks
+/// every index < next durably written (the resume point of the next run);
+/// finalize() closes the dataset. resume_index() is read once, before
+/// generation starts.
+class DatasetSink {
+ public:
+  virtual ~DatasetSink() = default;
+
+  /// First index the next run still needs to produce (0 = fresh dataset).
+  [[nodiscard]] virtual std::size_t resume_index() const = 0;
+
+  virtual void write(const DesignRecord& record) = 0;
+
+  /// Commit progress: after this returns, a crash must not lose any
+  /// design with index < next.
+  virtual void checkpoint(std::size_t next) = 0;
+
+  virtual void finalize(const DatasetSummary& summary) = 0;
+};
+
+/// Disk sink with sharded output layout:
+///
+///   DIR/shard_0000/synthetic_0.v ... (shard_size designs per shard dir)
+///   DIR/manifest.jsonl   one JSON record per design (appended per write)
+///   DIR/checkpoint.txt   (seed, next) — rewritten by checkpoint()
+///   DIR/manifest.json    run summary — written by finalize()
+///
+/// Resume semantics match the pre-service generate_dataset driver: the
+/// checkpoint is honoured only when its seed matches (a different seed
+/// means a different dataset), and manifest records at or beyond the
+/// resume index are pruned at construction so replayed designs never
+/// appear twice.
+class ShardedDiskSink final : public DatasetSink {
+ public:
+  struct Options {
+    std::filesystem::path dir = "synthetic_dataset";
+    /// Checkpoint compatibility key: must equal the generation seed.
+    std::uint64_t seed = 0;
+    /// Designs per shard_NNNN subdirectory; 0 writes a flat directory
+    /// (the pre-sharding layout).
+    std::size_t shard_size = 64;
+    /// Discard any existing checkpoint/manifest and start over.
+    bool fresh = false;
+    /// Synthesize each design to record gates/SCPR/PCS in the manifest
+    /// (the expensive part of writing; runs on the sink consumer thread,
+    /// overlapped with generation by the service queue).
+    bool with_synth_stats = true;
+    /// Progress stream (one line per design); null = quiet.
+    std::ostream* log = nullptr;
+  };
+
+  explicit ShardedDiskSink(Options options);
+
+  [[nodiscard]] std::size_t resume_index() const override { return resume_; }
+  void write(const DesignRecord& record) override;
+  void checkpoint(std::size_t next) override;
+  void finalize(const DatasetSummary& summary) override;
+
+  /// Shard subdirectory (relative to dir) for a design index; empty when
+  /// sharding is off.
+  [[nodiscard]] std::filesystem::path shard_dir(std::size_t index) const;
+
+ private:
+  Options options_;
+  std::size_t resume_ = 0;
+};
+
+/// In-memory sink for tests and embedded consumers: keeps every record,
+/// tracks the last checkpoint, never resumes. Deliberately non-final —
+/// tests subclass it to inject sink failures.
+class MemorySink : public DatasetSink {
+ public:
+  [[nodiscard]] std::size_t resume_index() const override { return 0; }
+  void write(const DesignRecord& record) override;
+  void checkpoint(std::size_t next) override { checkpointed_ = next; }
+  void finalize(const DatasetSummary& summary) override {
+    summary_ = summary;
+    finalized_ = true;
+  }
+
+  [[nodiscard]] const std::vector<DesignRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t checkpointed() const { return checkpointed_; }
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] const DatasetSummary& summary() const { return summary_; }
+
+ private:
+  std::vector<DesignRecord> records_;
+  std::size_t checkpointed_ = 0;
+  bool finalized_ = false;
+  DatasetSummary summary_;
+};
+
+}  // namespace syn::service

@@ -1,0 +1,143 @@
+#include "service/generation_service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "graph/validity.hpp"
+#include "util/batching.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace syn::service {
+
+namespace {
+
+/// Stream items: a finished design, or a "commit progress up to .next"
+/// marker enqueued after its group's records (FIFO order makes the
+/// checkpoint happen-after every write it covers).
+struct Checkpoint {
+  std::size_t next = 0;
+};
+using QueueItem = std::variant<DesignRecord, Checkpoint>;
+
+}  // namespace
+
+GenerationService::GenerationService(core::GeneratorModel& model,
+                                     GenerationServiceConfig config)
+    : model_(model), config_(config) {}
+
+GenerationStats GenerationService::run(const GenerationJob& job,
+                                       DatasetSink& sink) {
+  if (!job.attrs) {
+    throw std::invalid_argument("GenerationService: job.attrs is not set");
+  }
+  GenerationStats stats;
+  const std::size_t resume = sink.resume_index();
+  stats.resumed_at = std::min(resume, job.count);
+  if (stats.resumed_at >= job.count) {
+    // Nothing left to generate. When the checkpoint says exactly this
+    // job finished, re-finalize: a crash between the final checkpoint
+    // and finalize() would otherwise leave the summary missing forever.
+    // (resume > count is a *different*, larger dataset — leave its
+    // summary alone.)
+    if (resume == job.count) {
+      sink.finalize(DatasetSummary{model_.name(), job.seed, job.count,
+                                   config_.batch.batch,
+                                   config_.batch.threads});
+    }
+    return stats;
+  }
+
+  // Stream i drives design i completely; the prefix property of
+  // split_streams means a later run with a larger count reuses the same
+  // per-design streams, so resumed and extended datasets stay coherent.
+  const std::vector<std::uint64_t> streams =
+      util::split_streams(job.seed, job.count);
+
+  // Attributes are drawn per design from a stream-derived RNG (not the
+  // generation stream itself, which generate_batch consumes).
+  std::vector<graph::NodeAttrs> attrs(job.count);
+  for (std::size_t i = stats.resumed_at; i < job.count; ++i) {
+    std::uint64_t s = streams[i];
+    util::Rng attr_rng(util::splitmix64(s));
+    attrs[i] = job.attrs(i, attr_rng);
+  }
+
+  util::BoundedQueue<QueueItem> queue(config_.queue_capacity);
+
+  // Sink consumer: the only thread that touches the sink during the run.
+  std::exception_ptr sink_error;
+  std::thread consumer([&] {
+    try {
+      while (auto item = queue.pop()) {
+        if (auto* record = std::get_if<DesignRecord>(&*item)) {
+          sink.write(*record);
+        } else {
+          sink.checkpoint(std::get<Checkpoint>(*item).next);
+        }
+      }
+    } catch (...) {
+      sink_error = std::current_exception();
+      // Unblock the producer: its next push fails and the run stops.
+      queue.close();
+    }
+  });
+
+  // Producer: whole groups through generate_batch on this thread (the
+  // model shards internally), streamed into the queue as they finish.
+  const std::size_t group =
+      config_.group > 0
+          ? config_.group
+          : std::max<std::size_t>(config_.batch.batch, 1) *
+                static_cast<std::size_t>(std::max(config_.batch.threads, 1));
+  std::exception_ptr producer_error;
+  bool stopped = false;
+  try {
+    util::for_each_chunk(
+        job.count - stats.resumed_at, group,
+        [&](std::size_t lo, std::size_t n) {
+          if (stopped) return;
+          const std::size_t base = stats.resumed_at + lo;
+          std::vector<graph::Graph> graphs = model_.generate_batch(
+              {attrs.data() + base, n}, {streams.data() + base, n},
+              config_.batch);
+          for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t index = base + k;
+            graphs[k].set_name("synthetic_" + std::to_string(index));
+            if (!graph::is_valid(graphs[k])) {
+              throw std::runtime_error(
+                  "GenerationService: design " + std::to_string(index) +
+                  " failed validity: " +
+                  graph::validate(graphs[k]).to_string());
+            }
+            if (!queue.push(DesignRecord{index, streams[index],
+                                         std::move(graphs[k])})) {
+              stopped = true;  // consumer died; its error is rethrown below
+              return;
+            }
+            ++stats.produced;
+          }
+          if (!queue.push(Checkpoint{base + n})) stopped = true;
+        });
+  } catch (...) {
+    producer_error = std::current_exception();
+  }
+
+  queue.close();
+  consumer.join();
+  if (sink_error) std::rethrow_exception(sink_error);
+  if (producer_error) std::rethrow_exception(producer_error);
+
+  sink.finalize(DatasetSummary{model_.name(), job.seed, job.count,
+                               config_.batch.batch, config_.batch.threads});
+  return stats;
+}
+
+}  // namespace syn::service

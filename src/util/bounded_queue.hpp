@@ -1,0 +1,89 @@
+// Bounded blocking MPMC queue — the backpressure primitive of the
+// dataset-generation service: a producer streaming finished designs into
+// a slower sink blocks once `capacity` items are in flight instead of
+// buffering an unbounded backlog.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace syn::util {
+
+/// FIFO queue with a hard capacity bound and a close() handshake.
+///
+///   * push() blocks while the queue is full; returns false (dropping the
+///     item) once the queue is closed — the consumer died or the run was
+///     cancelled, so producers should stop.
+///   * pop() blocks while the queue is empty; after close() it drains the
+///     remaining items, then returns nullopt to signal end-of-stream.
+///   * close() is idempotent and wakes every blocked producer/consumer.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Blocks until there is room (or the queue closes). Returns true when
+  /// the item was enqueued.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue closes and drains).
+  /// nullopt means end-of-stream: the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace syn::util

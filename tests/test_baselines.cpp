@@ -1,5 +1,14 @@
-// Tests for the four baseline generators and their shared machinery.
+// Tests for the four baseline generators, their shared machinery, the
+// backend registry, and the inherited batch-first generation contract.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/dvae.hpp"
 #include "baselines/graphmaker.hpp"
@@ -9,9 +18,11 @@
 #include "baselines/sparsedigress.hpp"
 #include "baselines/window_common.hpp"
 #include "core/generator.hpp"
+#include "core/registry.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/validity.hpp"
 #include "rtl/generators.hpp"
+#include "util/thread_pool.hpp"
 
 namespace syn::baselines {
 namespace {
@@ -174,6 +185,116 @@ TEST_F(BaselineTest, SparseDigressGeneratesValidCircuits) {
   util::Rng rng(5);
   const Graph g = model.generate(attrs(20, 500), rng);
   EXPECT_TRUE(graph::is_valid(g)) << graph::validate(g).to_string();
+}
+
+/// The default (inherited) generate_batch must be a pure throughput
+/// lever for every baseline: batched output bitwise-equal to the scalar
+/// generate() loop on the same per-item streams, at any batch size and
+/// thread count.
+TEST_F(BaselineTest, DefaultGenerateBatchBitIdenticalToScalarLoop) {
+  const auto corpus = tiny_corpus();
+  std::vector<std::unique_ptr<core::GeneratorModel>> models;
+  models.push_back(std::make_unique<GraphRnn>(
+      GraphRnnConfig{.window = 8, .hidden = 16, .epochs = 2, .seed = 21}));
+  models.push_back(std::make_unique<Dvae>(DvaeConfig{
+      .window = 8, .hidden = 16, .latent = 4, .epochs = 2, .seed = 22}));
+  models.push_back(std::make_unique<GraphMaker>(
+      GraphMakerConfig{.hidden = 16, .epochs = 6, .seed = 23}));
+  models.push_back(std::make_unique<SparseDigress>(SparseDigressConfig{
+      .steps = 3, .mpnn_layers = 2, .hidden = 16, .epochs = 2, .seed = 24}));
+
+  std::vector<graph::NodeAttrs> items;
+  for (int i = 0; i < 5; ++i) items.push_back(attrs(16 + 4 * (i % 2), 700 + i));
+  const std::uint64_t seed = 808;
+  const auto seeds = util::split_streams(seed, items.size());
+
+  for (auto& model : models) {
+    model->fit(corpus);
+    // Reference: the scalar path, one generate() per item on its stream.
+    std::vector<graph::Graph> reference;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      util::Rng rng(seeds[i]);
+      reference.push_back(model->generate(items[i], rng));
+      EXPECT_TRUE(graph::is_valid(reference.back()))
+          << model->name() << ": " << graph::validate(reference.back()).to_string();
+    }
+    const std::pair<std::size_t, int> shapes[] = {
+        {1, 1}, {2, 1}, {5, 1}, {2, 2}, {1, 8}};
+    for (const auto& [batch, threads] : shapes) {
+      const auto out = model->generate_batch(
+          items, seed, {.batch = batch, .threads = threads});
+      ASSERT_EQ(out.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(out[i], reference[i])
+            << model->name() << " item " << i << " batch=" << batch
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Registry, ConstructsAllFiveBackendsByName) {
+  const auto names = core::registered_generators();
+  ASSERT_GE(names.size(), 5u);
+  for (const char* name : {"syncircuit", "graphrnn", "dvae", "graphmaker",
+                           "sparsedigress"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << name;
+    const auto model = core::make_generator(name);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_FALSE(model->name().empty()) << name;
+  }
+}
+
+TEST(Registry, AcceptsDisplayAliasesAndAnyCase) {
+  EXPECT_EQ(core::make_generator("GraphMaker-v")->name(), "GraphMaker-v");
+  EXPECT_EQ(core::make_generator("SparseDigress-v")->name(),
+            "SparseDigress-v");
+  EXPECT_EQ(core::make_generator("D-VAE")->name(), "DVAE");
+  EXPECT_EQ(core::make_generator("GRAPHRNN")->name(), "GraphRNN");
+  EXPECT_EQ(core::make_generator("SynCircuit")->name(), "SynCircuit w/ diff");
+}
+
+TEST(Registry, UnknownBackendThrowsListingAvailable) {
+  try {
+    (void)core::make_generator("not-a-backend");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not-a-backend"), std::string::npos);
+    EXPECT_NE(what.find("syncircuit"), std::string::npos);
+    EXPECT_NE(what.find("dvae"), std::string::npos);
+  }
+}
+
+TEST(Registry, ConfigKnobsReachTheBackends) {
+  core::BackendConfig cfg;
+  cfg.seed = 123;
+  cfg.epochs = 1;
+  cfg.hidden = 8;
+  // A 1-epoch fit on a tiny corpus stays fast for every backend and
+  // proves the shared knobs actually drive training.
+  auto rnn = core::make_generator("graphrnn", cfg);
+  rnn->fit(tiny_corpus());
+  auto* typed = dynamic_cast<GraphRnn*>(rnn.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->epoch_losses().size(), 1u);
+}
+
+TEST(Registry, CustomBackendsCanBeRegistered) {
+  struct Echo : core::GeneratorModel {
+    void fit(const std::vector<graph::Graph>&) override {}
+    graph::Graph generate(const graph::NodeAttrs& a, util::Rng&) override {
+      return graph::skeleton_from_attrs(a, "echo");
+    }
+    [[nodiscard]] std::string name() const override { return "Echo"; }
+  };
+  core::register_generator("echo-test", [](const core::BackendConfig&) {
+    return std::make_unique<Echo>();
+  });
+  EXPECT_EQ(core::make_generator("echo-test")->name(), "Echo");
+  const auto names = core::registered_generators();
+  EXPECT_NE(std::find(names.begin(), names.end(), "echo-test"), names.end());
 }
 
 TEST_F(BaselineTest, GenerateBeforeFitThrows) {

@@ -2,6 +2,9 @@
 // three-phase SynCircuit pipeline.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+
 #include "core/postprocess.hpp"
 #include "core/syncircuit.hpp"
 #include "graph/algorithms.hpp"
@@ -45,6 +48,26 @@ TEST(AttrSampler, GuaranteesStructuralMinimum) {
     EXPECT_GE(out, 1);
     EXPECT_GE(reg, 1);
   }
+}
+
+TEST(AttrSampler, RejectsRequestsBelowStructuralMinimum) {
+  // The input/output/register guarantee needs >= 4 nodes; anything
+  // smaller must be a clear invalid_argument (not an assert or UB on an
+  // empty attrs vector), thrown before any randomness is consumed.
+  AttrSampler sampler;
+  sampler.fit({rtl::make_counter(4)});
+  util::Rng rng(5);
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    EXPECT_THROW((void)sampler.sample(n, rng), std::invalid_argument)
+        << "num_nodes=" << n;
+  }
+  const std::uint64_t draw_probe = util::Rng(5).next();
+  EXPECT_EQ(rng.next(), draw_probe)
+      << "a rejected sample must not consume randomness";
+  EXPECT_EQ(sampler.sample(4, rng).size(), 4u);
+  // Unfitted samplers keep reporting logic_error, not the size error.
+  AttrSampler unfitted;
+  EXPECT_THROW((void)unfitted.sample(0, rng), std::logic_error);
 }
 
 TEST(AttrSampler, MatchesCorpusTypeDistribution) {
