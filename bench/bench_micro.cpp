@@ -23,6 +23,8 @@
 #include "mcts/discriminator.hpp"
 #include "mcts/mcts.hpp"
 #include "rtl/generators.hpp"
+#include "service/dataset_sink.hpp"
+#include "service/generation_service.hpp"
 #include "sta/sta.hpp"
 #include "synth/bitblast.hpp"
 #include "synth/passes.hpp"
@@ -326,5 +328,53 @@ void BM_DiscriminatorScore(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_DiscriminatorScore)->Arg(1)->Arg(8)->Arg(32);
+
+/// TeeSink fan-out overhead: one write delivered to 1 + Arg in-memory
+/// sinks (Arg = mirror count; /0 is the pass-through floor). The daemon
+/// runs every job through a tee (disk + stream mirror), so this row
+/// bounds what the fan-out itself costs relative to the write payload.
+void BM_TeeSink(benchmark::State& state) {
+  service::MemorySink primary;
+  std::vector<service::MemorySink> mirrors(
+      static_cast<std::size_t>(state.range(0)));
+  service::TeeSink tee(primary);
+  for (auto& mirror : mirrors) tee.add(mirror);
+  const service::DesignRecord record{
+      .index = 0, .chain_seed = 5, .graph = rtl::make_counter(4)};
+  for (auto _ : state) {
+    tee.write(record);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TeeSink)->Arg(0)->Arg(3);
+
+/// End-to-end dataset service throughput: 8 designs per iteration pumped
+/// through GenerationService (producer generate_batch -> bounded queue ->
+/// sink consumer thread) into a memory sink. Compare against
+/// BM_GenerateBatch/graphrnn — the delta is the whole service layer
+/// (queue handoff, validity check, per-group checkpointing, thread
+/// spin-up), which should stay a small fraction of generation itself.
+void BM_ServiceThroughput(benchmark::State& state) {
+  auto& model = fitted_backend("graphrnn");
+  constexpr std::size_t kItems = 8;
+  core::AttrSampler sampler;
+  sampler.fit({rtl::make_counter(4), rtl::make_fifo_ctrl(2),
+               rtl::make_fsm(2, 2)});
+  service::GenerationService svc(
+      model, {.batch = {.batch = 4, .threads = 1}, .queue_capacity = 8});
+  const service::GenerationJob job{
+      .count = kItems, .seed = 17,
+      .attrs = [&sampler](std::size_t, util::Rng& rng) {
+        return sampler.sample(20, rng);
+      }};
+  for (auto _ : state) {
+    service::MemorySink sink;
+    benchmark::DoNotOptimize(svc.run(job, sink));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kItems));
+}
+BENCHMARK(BM_ServiceThroughput);
 
 }  // namespace

@@ -6,7 +6,7 @@
 //
 //   generate_dataset [count] [--backend=NAME] [--out=DIR] [--seed=S]
 //                    [--batch=K] [--threads=T] [--shard-size=N]
-//                    [--queue=N] [--fresh]
+//                    [--queue=N] [--fresh] [--daemon=SOCK]
 //
 // Any registered backend generates ("syncircuit" default; "graphrnn",
 // "dvae", "graphmaker", "sparsedigress" — see core/registry.hpp). Design
@@ -18,6 +18,11 @@
 // written while the next group generates); the sink checkpoints after
 // every group, so re-running with the same --out resumes where the
 // previous run stopped (--fresh discards the checkpoint).
+//
+// With --daemon=SOCK the run is submitted to a resident syn_daemon on
+// that Unix socket instead of executing locally: the job's manifest
+// records stream back live, and the resulting dataset is byte-identical
+// to the local run (same service, same sink, same RNG streams).
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
@@ -27,6 +32,9 @@
 
 #include "core/registry.hpp"
 #include "rtl/generators.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+#include "server/protocol.hpp"
 #include "service/dataset_sink.hpp"
 #include "service/generation_service.hpp"
 #include "synth/synthesizer.hpp"
@@ -45,12 +53,13 @@ struct Options {
   std::size_t shard_size = 64;
   std::size_t queue = 32;
   bool fresh = false;
+  std::filesystem::path daemon;  // non-empty = submit to syn_daemon
 };
 
 int usage() {
   std::cerr << "usage: generate_dataset [count] [--backend=NAME]"
                " [--out=DIR] [--seed=S] [--batch=K] [--threads=T]"
-               " [--shard-size=N] [--queue=N] [--fresh]\n"
+               " [--shard-size=N] [--queue=N] [--fresh] [--daemon=SOCK]\n"
                "backends:";
   for (const auto& name : core::registered_generators()) {
     std::cerr << " " << name;
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
       queue_arg = std::atoll(arg.c_str() + 8);
     } else if (arg == "--fresh") {
       opt.fresh = true;
+    } else if (arg.rfind("--daemon=", 0) == 0) {
+      opt.daemon = arg.substr(9);
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else {
@@ -103,6 +114,36 @@ int main(int argc, char** argv) {
   opt.shard_size = static_cast<std::size_t>(shard_arg);
   opt.queue = static_cast<std::size_t>(queue_arg);
 
+  if (!opt.daemon.empty()) {
+    // Daemon mode: submit the identical spec and tail the manifest
+    // stream; the daemon's GenerationService + ShardedDiskSink produce
+    // the same bytes a local run would.
+    try {
+      server::JobSpec spec;
+      spec.count = opt.count;
+      spec.seed = opt.seed;
+      spec.backend = opt.backend;
+      spec.out = std::filesystem::absolute(opt.out);
+      spec.batch = opt.batch;
+      spec.threads = opt.threads;
+      spec.shard_size = opt.shard_size;
+      spec.queue = opt.queue;
+      spec.fresh = opt.fresh;
+      auto conn = server::ClientConnection::connect_unix(opt.daemon);
+      const std::string id = conn.submit(spec);
+      std::cout << "submitted " << id << " to " << opt.daemon.string()
+                << "; streaming manifest records...\n";
+      const std::string state = conn.stream(id, [](const util::Json& event) {
+        std::cout << event.dump() << "\n";
+      });
+      std::cout << "job " << id << " " << state << "\n";
+      return state == "done" ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   try {
     // Sink first: a completed dataset must exit in milliseconds, before
     // the (minutes-long) model fit.
@@ -112,16 +153,11 @@ int main(int argc, char** argv) {
                                    .fresh = opt.fresh,
                                    .with_synth_stats = true,
                                    .log = &std::cout});
-    core::BackendConfig backend_cfg;
-    backend_cfg.seed = 7;
-    backend_cfg.syncircuit.diffusion.steps = 6;
-    backend_cfg.syncircuit.diffusion.denoiser = {
-        .mpnn_layers = 3, .hidden = 32, .time_dim = 16};
-    backend_cfg.syncircuit.diffusion.epochs = 8;
-    backend_cfg.syncircuit.mcts = {.simulations = 40, .max_depth = 8,
-                                   .actions_per_state = 8,
-                                   .max_registers = 6};
-    const auto generator = core::make_generator(opt.backend, backend_cfg);
+    // The tuning is shared with syn_daemon's default backend factory
+    // (server::make_default_backend) — one definition keeps daemon jobs
+    // byte-identical to local runs.
+    const auto generator = core::make_generator(
+        opt.backend, server::default_backend_config());
     service::GenerationService svc(
         *generator,
         {.batch = {.batch = opt.batch, .threads = opt.threads},
@@ -159,7 +195,7 @@ int main(int argc, char** argv) {
          .seed = opt.seed,
          .attrs =
              [&](std::size_t i, util::Rng& rng) {
-               return sampler.sample(60 + 20 * (i % 3), rng);
+               return sampler.sample(server::default_attr_nodes(i), rng);
              }},
         sink);
 

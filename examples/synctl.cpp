@@ -1,0 +1,177 @@
+// synctl: command-line client for syn_daemon.
+//
+//   synctl --socket=PATH submit [count] [--backend=NAME] [--out=DIR]
+//          [--seed=S] [--batch=K] [--threads=T] [--shard-size=N]
+//          [--queue=N] [--fresh] [--no-synth-stats] [--client=NAME]
+//          [--tail]
+//   synctl --socket=PATH status JOB
+//   synctl --socket=PATH list
+//   synctl --socket=PATH cancel JOB
+//   synctl --socket=PATH tail JOB
+//   synctl --socket=PATH ping
+//   synctl --socket=PATH shutdown [--now]
+//
+// (--tcp=HOST:PORT connects over loopback TCP instead of the socket.)
+//
+// Responses and streamed events print as the raw protocol JSON, one
+// object per line — greppable and pipeable to jq. Exit code: 0 on
+// success; 1 on connection/daemon errors; for `tail` (and `submit
+// --tail`) also 1 when the job ends failed or cancelled.
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using syn::server::ClientConnection;
+using syn::server::JobSpec;
+using syn::util::Json;
+
+int usage() {
+  std::cerr
+      << "usage: synctl --socket=PATH <command>\n"
+         "  submit [count] [--backend=NAME] [--out=DIR] [--seed=S]\n"
+         "         [--batch=K] [--threads=T] [--shard-size=N] [--queue=N]\n"
+         "         [--fresh] [--no-synth-stats] [--client=NAME] [--tail]\n"
+         "  status JOB | list | cancel JOB | tail JOB | ping\n"
+         "  shutdown [--now]\n";
+  return 1;
+}
+
+/// Streams a job's events to stdout; returns 0 iff it ended "done".
+int tail_job(ClientConnection& conn, const std::string& id) {
+  const std::string state = conn.stream(id, [](const Json& event) {
+    std::cout << event.dump() << "\n";
+  });
+  return state == "done" ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  std::string socket;
+  std::string tcp;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket = arg.substr(9);
+    } else if (arg.rfind("--tcp=", 0) == 0) {
+      tcp = arg.substr(6);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if ((socket.empty() && tcp.empty()) || args.empty()) return usage();
+
+  ClientConnection conn = [&] {
+    if (!tcp.empty()) {
+      const auto colon = tcp.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("--tcp needs HOST:PORT");
+      }
+      return ClientConnection::connect_tcp(
+          tcp.substr(0, colon), std::atoi(tcp.c_str() + colon + 1));
+    }
+    return ClientConnection::connect_unix(socket);
+  }();
+
+  const std::string command = args[0];
+  if (command == "submit") {
+    JobSpec spec;
+    spec.count = 5;
+    std::string client;
+    bool tail = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg.rfind("--backend=", 0) == 0) {
+        spec.backend = arg.substr(10);
+      } else if (arg.rfind("--out=", 0) == 0) {
+        spec.out = arg.substr(6);
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        spec.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      } else if (arg.rfind("--batch=", 0) == 0) {
+        spec.batch = static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        spec.threads = std::atoi(arg.c_str() + 10);
+      } else if (arg.rfind("--shard-size=", 0) == 0) {
+        spec.shard_size =
+            static_cast<std::size_t>(std::atoll(arg.c_str() + 13));
+      } else if (arg.rfind("--queue=", 0) == 0) {
+        spec.queue = static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
+      } else if (arg == "--fresh") {
+        spec.fresh = true;
+      } else if (arg == "--no-synth-stats") {
+        spec.synth_stats = false;
+      } else if (arg.rfind("--client=", 0) == 0) {
+        client = arg.substr(9);
+      } else if (arg == "--tail") {
+        tail = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        return usage();
+      } else {
+        spec.count = static_cast<std::size_t>(std::atoll(arg.c_str()));
+      }
+    }
+    // The daemon resolves relative paths against ITS working directory;
+    // make the submitted dir unambiguous.
+    spec.out = std::filesystem::absolute(spec.out);
+    const std::string id = conn.submit(spec, client);
+    std::cout << id << "\n";
+    return tail ? tail_job(conn, id) : 0;
+  }
+
+  if (command == "status" || command == "cancel" || command == "tail") {
+    if (args.size() != 2) return usage();
+    const std::string& id = args[1];
+    if (command == "status") {
+      std::cout << conn.status(id).dump() << "\n";
+      return 0;
+    }
+    if (command == "cancel") {
+      std::cout << conn.cancel(id).dump() << "\n";
+      return 0;
+    }
+    return tail_job(conn, id);
+  }
+
+  if (command == "list") {
+    const Json jobs = conn.list();  // named: the loop borrows its array
+    for (const Json& job : jobs.array()) {
+      std::cout << job.dump() << "\n";
+    }
+    return 0;
+  }
+
+  if (command == "ping") {
+    syn::server::Request req;
+    req.cmd = syn::server::Request::Cmd::kPing;
+    std::cout << conn.request(req).dump() << "\n";
+    return 0;
+  }
+
+  if (command == "shutdown") {
+    const bool now = args.size() > 1 && args[1] == "--now";
+    conn.shutdown(/*drain=*/!now);
+    std::cout << "{\"ok\":true,\"shutdown\":\""
+              << (now ? "cancelling" : "draining") << "\"}\n";
+    return 0;
+  }
+
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "synctl: " << e.what() << "\n";
+    return 1;
+  }
+}

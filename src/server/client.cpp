@@ -1,0 +1,132 @@
+#include "server/client.hpp"
+
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "server/socket_io.hpp"
+
+namespace syn::server {
+
+using util::Json;
+
+ClientConnection ClientConnection::connect_unix(
+    const std::filesystem::path& path) {
+  return ClientConnection(io::connect_unix(path));
+}
+
+ClientConnection ClientConnection::connect_tcp(const std::string& host,
+                                               int port) {
+  return ClientConnection(io::connect_tcp(host, port));
+}
+
+ClientConnection::~ClientConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ClientConnection::ClientConnection(ClientConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), carry_(std::move(other.carry_)) {}
+
+ClientConnection& ClientConnection::operator=(
+    ClientConnection&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    carry_ = std::move(other.carry_);
+  }
+  return *this;
+}
+
+void ClientConnection::send_line(const std::string& line) {
+  if (fd_ < 0 || !io::write_all(fd_, line + "\n")) {
+    throw std::runtime_error("daemon connection lost while sending");
+  }
+}
+
+std::optional<std::string> ClientConnection::recv_line() {
+  if (fd_ < 0) return std::nullopt;
+  return io::read_line(fd_, carry_);
+}
+
+Json ClientConnection::request(const Request& req) {
+  send_line(encode(req));
+  const auto line = recv_line();
+  if (!line) {
+    throw std::runtime_error("daemon closed the connection mid-request");
+  }
+  return Json::parse(*line);
+}
+
+Json ClientConnection::checked_request(const Request& req) {
+  Json response = request(req);
+  const Json* ok = response.find("ok");
+  if (!ok || !ok->is_bool()) {
+    throw std::runtime_error("malformed daemon response: " + response.dump());
+  }
+  if (!ok->boolean()) {
+    const Json* error = response.find("error");
+    throw std::runtime_error(error && error->is_string()
+                                 ? error->str()
+                                 : "daemon reported an unknown error");
+  }
+  return response;
+}
+
+std::string ClientConnection::submit(const JobSpec& spec,
+                                     const std::string& client) {
+  Request req;
+  req.cmd = Request::Cmd::kSubmit;
+  req.client = client;
+  req.spec = spec;
+  return checked_request(req).at("id").str();
+}
+
+Json ClientConnection::status(const std::string& id) {
+  Request req;
+  req.cmd = Request::Cmd::kStatus;
+  req.id = id;
+  return checked_request(req).at("job");
+}
+
+Json ClientConnection::list() {
+  Request req;
+  req.cmd = Request::Cmd::kList;
+  return checked_request(req).at("jobs");
+}
+
+Json ClientConnection::cancel(const std::string& id) {
+  Request req;
+  req.cmd = Request::Cmd::kCancel;
+  req.id = id;
+  return checked_request(req);
+}
+
+void ClientConnection::shutdown(bool drain) {
+  Request req;
+  req.cmd = Request::Cmd::kShutdown;
+  req.drain = drain;
+  checked_request(req);
+}
+
+std::string ClientConnection::stream(
+    const std::string& id,
+    const std::function<void(const Json&)>& on_event) {
+  Request req;
+  req.cmd = Request::Cmd::kStream;
+  req.id = id;
+  checked_request(req);  // the streaming acknowledgement
+  while (const auto line = recv_line()) {
+    if (line->empty()) continue;
+    const Json event = Json::parse(*line);
+    if (on_event) on_event(event);
+    const Json* kind = event.find("event");
+    if (kind && kind->is_string() && kind->str() == "end") {
+      const Json* state = event.find("state");
+      return state && state->is_string() ? state->str() : "unknown";
+    }
+  }
+  throw std::runtime_error("daemon closed the connection mid-stream");
+}
+
+}  // namespace syn::server

@@ -1,0 +1,60 @@
+// Client side of the daemon protocol: a blocking line-oriented connection
+// plus typed helpers for each command. Shared by examples/synctl, the
+// generate_dataset --daemon mode, and the server tests.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "util/json.hpp"
+
+namespace syn::server {
+
+class ClientConnection {
+ public:
+  static ClientConnection connect_unix(const std::filesystem::path& path);
+  static ClientConnection connect_tcp(const std::string& host, int port);
+  ~ClientConnection();
+
+  ClientConnection(ClientConnection&& other) noexcept;
+  ClientConnection& operator=(ClientConnection&& other) noexcept;
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  /// Sends `line` + '\n'. Throws std::runtime_error when the daemon is
+  /// gone.
+  void send_line(const std::string& line);
+  /// Next protocol line; nullopt on EOF.
+  std::optional<std::string> recv_line();
+
+  /// One request -> one parsed response. Throws std::runtime_error on
+  /// EOF and util::JsonError on an unparsable reply.
+  util::Json request(const Request& req);
+
+  /// submit + unwrap: returns the job id, throws std::runtime_error
+  /// carrying the daemon's error message on {"ok":false}.
+  std::string submit(const JobSpec& spec, const std::string& client = "");
+  util::Json status(const std::string& id);
+  util::Json list();
+  util::Json cancel(const std::string& id);
+  void shutdown(bool drain);
+
+  /// STREAM: replays + follows job events, invoking on_event per line
+  /// until the terminal "end" event (which is also passed to on_event).
+  /// Returns the end event's "state". Throws on EOF mid-stream.
+  std::string stream(const std::string& id,
+                     const std::function<void(const util::Json&)>& on_event);
+
+ private:
+  explicit ClientConnection(int fd) : fd_(fd) {}
+  /// Throws std::runtime_error(message from daemon) on {"ok":false}.
+  util::Json checked_request(const Request& req);
+
+  int fd_ = -1;
+  std::string carry_;
+};
+
+}  // namespace syn::server

@@ -1,0 +1,509 @@
+#include "server/daemon.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "rtl/generators.hpp"
+#include "server/socket_io.hpp"
+#include "server/stream_sink.hpp"
+#include "service/dataset_sink.hpp"
+#include "service/generation_service.hpp"
+
+namespace syn::server {
+
+using util::Json;
+
+core::BackendConfig default_backend_config() {
+  core::BackendConfig config;
+  config.seed = 7;
+  config.syncircuit.diffusion.steps = 6;
+  config.syncircuit.diffusion.denoiser = {
+      .mpnn_layers = 3, .hidden = 32, .time_dim = 16};
+  config.syncircuit.diffusion.epochs = 8;
+  config.syncircuit.mcts = {.simulations = 40, .max_depth = 8,
+                            .actions_per_state = 8, .max_registers = 6};
+  return config;
+}
+
+FittedBackend make_default_backend(const std::string& name,
+                                   std::ostream* log) {
+  std::shared_ptr<core::GeneratorModel> model =
+      core::make_generator(name, default_backend_config());
+
+  if (log) *log << "fitting " << model->name() << " on the RTL corpus...\n";
+  const auto corpus = rtl::corpus_graphs({.seed = 1});
+  model->fit(corpus);
+
+  auto sampler = std::make_shared<core::AttrSampler>();
+  sampler->fit(corpus);
+  return {std::move(model),
+          [sampler](std::size_t i, util::Rng& rng) {
+            return sampler->sample(default_attr_nodes(i), rng);
+          }};
+}
+
+// ---------------------------------------------------------------- EventLog
+
+void Daemon::EventLog::append(std::string line) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;  // terminal event already recorded
+    lines_.push_back(std::move(line));
+    while (lines_.size() > kMaxBacklog) {
+      lines_.pop_front();
+      ++base_;
+    }
+  }
+  grew_.notify_all();
+}
+
+void Daemon::EventLog::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  grew_.notify_all();
+}
+
+void Daemon::EventLog::close_with(std::string line) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    lines_.push_back(std::move(line));
+    while (lines_.size() > kMaxBacklog) {
+      lines_.pop_front();
+      ++base_;
+    }
+    closed_ = true;
+  }
+  grew_.notify_all();
+}
+
+bool Daemon::EventLog::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::optional<std::pair<std::size_t, std::string>> Daemon::EventLog::wait_from(
+    std::size_t seq) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  grew_.wait(lock, [&] { return closed_ || seq < base_ + lines_.size(); });
+  const std::size_t first = std::max(seq, base_);
+  if (first < base_ + lines_.size()) {
+    return std::make_pair(first, lines_[first - base_]);
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------------ Daemon
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
+  if (config_.socket_path.empty()) {
+    throw std::invalid_argument("Daemon: socket_path is required");
+  }
+  if (!config_.factory) {
+    config_.factory = [log = config_.log](const std::string& name) {
+      return make_default_backend(name, log);
+    };
+  }
+  JobScheduler::Options scheduler_options;
+  scheduler_options.max_concurrent = config_.max_concurrent;
+  // Terminal stream events are driven by the scheduler, not the job
+  // body: the callback fires only after the terminal state is visible to
+  // STATUS, so a client that reacts to the "end" event never reads a
+  // stale "running". It also covers jobs cancelled while still queued,
+  // whose bodies never run.
+  scheduler_options.on_terminal = [this](const JobScheduler::Info& info) {
+    end_event_log(info.id, info.state, info.error);
+    log_line(info.id + " " + to_string(info.state) +
+             (info.error.empty() ? "" : ": " + info.error));
+  };
+  scheduler_ = std::make_unique<JobScheduler>(scheduler_options);
+}
+
+Daemon::~Daemon() {
+  request_stop(false);
+  teardown(false);
+}
+
+void Daemon::log_line(const std::string& line) {
+  if (!config_.log) return;
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  *config_.log << "[syn_daemon] " << line << "\n";
+}
+
+void Daemon::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("Daemon: start() called twice");
+  }
+  listen_fds_.push_back(io::listen_unix(config_.socket_path, 16));
+  log_line("listening on " + config_.socket_path.generic_string());
+  if (config_.tcp_port > 0) {
+    listen_fds_.push_back(io::listen_tcp(config_.tcp_port, 16));
+    log_line("listening on 127.0.0.1:" + std::to_string(config_.tcp_port));
+  }
+  for (const int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+}
+
+void Daemon::request_stop(bool drain) {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stop_requested_) {
+      stop_cv_.notify_all();
+      return;  // first request's drain mode wins
+    }
+    stop_requested_ = true;
+    stop_drain_ = drain;
+  }
+  stop_cv_.notify_all();
+}
+
+void Daemon::serve() {
+  bool drain = true;
+  {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [&] { return stop_requested_; });
+    drain = stop_drain_;
+  }
+  teardown(drain);
+}
+
+void Daemon::teardown(bool drain) {
+  const std::lock_guard<std::mutex> once(teardown_mutex_);
+  if (torn_down_ || !started_.load()) return;
+  torn_down_ = true;
+  // A start() that threw before binding owns no socket file; unlinking
+  // the path then would disconnect a LIVE daemon this one lost the bind
+  // race to.
+  const bool owns_socket = !listen_fds_.empty();
+
+  log_line(drain ? "shutting down (draining jobs)"
+                 : "shutting down (cancelling jobs)");
+  // 1. Stop intake + settle every job. After this, all jobs are terminal
+  //    and every event log is closed (the scheduler's on_terminal hook
+  //    fires for completed and cancelled-while-queued jobs alike), so no
+  //    STREAM subscriber is left waiting.
+  scheduler_->shutdown(drain);
+
+  // 2. Wake the acceptors and join them.
+  for (const int fd : listen_fds_) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  listen_fds_.clear();
+
+  // 3. Kick every live connection; handlers see EOF / failed writes and
+  //    exit on their own, closing their fds.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, fd] : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connection_threads_) t.join();
+  connection_threads_.clear();
+
+  if (owns_socket) {
+    std::error_code ignored;
+    std::filesystem::remove(config_.socket_path, ignored);
+  }
+  log_line("stopped");
+}
+
+void Daemon::accept_loop(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed during teardown
+    std::size_t connection_id = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      connection_id = next_connection_++;
+      connections_.emplace_back(connection_id, fd);
+      connection_threads_.emplace_back([this, fd, connection_id] {
+        handle_connection(fd, connection_id);
+      });
+    }
+  }
+}
+
+void Daemon::handle_connection(int fd, std::size_t connection_id) {
+  const std::string conn_client = "conn-" + std::to_string(connection_id);
+  log_line(conn_client + " connected");
+  std::string carry;
+  while (auto line = io::read_line(fd, carry)) {
+    if (line->empty()) continue;
+    bool keep_going = true;
+    try {
+      keep_going = handle_request(parse_request(*line), conn_client, fd);
+    } catch (const ProtocolError& e) {
+      keep_going = io::write_all(fd, error_response(e.what()).dump() + "\n");
+    }
+    if (!keep_going) break;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [&](const auto& c) { return c.first == connection_id; }),
+        connections_.end());
+  }
+  ::close(fd);
+  log_line(conn_client + " disconnected");
+}
+
+Json Daemon::job_json(const JobScheduler::Info& info) const {
+  Json json;
+  json.set("id", info.id);
+  json.set("client", info.client);
+  json.set("state", to_string(info.state));
+  if (!info.error.empty()) json.set("error", info.error);
+  json.set("produced", info.progress.produced);
+  json.set("written", info.progress.written);
+  json.set("groups", info.progress.groups);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = specs_.find(info.id);
+    if (it != specs_.end()) {
+      json.set("count", it->second.count);
+      json.set("seed", it->second.seed);
+      json.set("backend", it->second.backend);
+      json.set("out", it->second.out.generic_string());
+    }
+  }
+  return json;
+}
+
+bool Daemon::handle_request(const Request& request,
+                            const std::string& conn_client, int fd) {
+  const auto respond = [&](const Json& json) {
+    return io::write_all(fd, json.dump() + "\n");
+  };
+
+  switch (request.cmd) {
+    case Request::Cmd::kPing: {
+      Json json = ok_response();
+      json.set("server", "syn_daemon");
+      return respond(json);
+    }
+
+    case Request::Cmd::kSubmit: {
+      const std::string client =
+          request.client.empty() ? conn_client : request.client;
+      const JobSpec spec = request.spec;
+      std::string id;
+      try {
+        id = scheduler_->submit(client, [this, spec](
+                                            const JobScheduler::Handle& h) {
+          run_generation_job(spec, h);
+        });
+      } catch (const std::exception& e) {
+        return respond(error_response(e.what()));
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        specs_.emplace(id, spec);
+      }
+      log_line(id + " submitted by " + client + " (" + spec.backend + ", " +
+               std::to_string(spec.count) + " designs -> " +
+               spec.out.generic_string() + ")");
+      Json json = ok_response();
+      json.set("id", id);
+      json.set("state", "queued");
+      return respond(json);
+    }
+
+    case Request::Cmd::kStatus: {
+      try {
+        Json json = ok_response();
+        json.set("job", job_json(scheduler_->info(request.id)));
+        return respond(json);
+      } catch (const std::out_of_range&) {
+        return respond(error_response("unknown job \"" + request.id + "\""));
+      }
+    }
+
+    case Request::Cmd::kList: {
+      Json json = ok_response();
+      util::JsonArray jobs;
+      for (const auto& info : scheduler_->list()) {
+        jobs.push_back(job_json(info));
+      }
+      json.set("jobs", std::move(jobs));
+      return respond(json);
+    }
+
+    case Request::Cmd::kCancel: {
+      const bool changed = scheduler_->cancel(request.id);
+      JobScheduler::Info info;
+      try {
+        info = scheduler_->info(request.id);
+      } catch (const std::out_of_range&) {
+        return respond(error_response("unknown job \"" + request.id + "\""));
+      }
+      log_line(request.id + " cancel requested (now " +
+               to_string(info.state) + ")");
+      Json json = ok_response();
+      json.set("id", request.id);
+      json.set("changed", changed);
+      json.set("state", to_string(info.state));
+      return respond(json);
+    }
+
+    case Request::Cmd::kStream: {
+      try {
+        (void)scheduler_->info(request.id);
+      } catch (const std::out_of_range&) {
+        return respond(error_response("unknown job \"" + request.id + "\""));
+      }
+      Json ack = ok_response();
+      ack.set("id", request.id);
+      ack.set("streaming", true);
+      if (!respond(ack)) return false;
+      const std::shared_ptr<EventLog> log = event_log(request.id);
+      // Replay the retained window, then follow the live tail until the
+      // job's terminal "end" event closes the log.
+      std::size_t seq = 0;
+      while (const auto line = log->wait_from(seq)) {
+        if (!io::write_all(fd, line->second + "\n")) return false;
+        seq = line->first + 1;
+      }
+      return true;  // connection stays usable for further commands
+    }
+
+    case Request::Cmd::kShutdown: {
+      respond(ok_response());  // ack first; the connection closes next
+      log_line("shutdown requested (drain=" +
+               std::string(request.drain ? "true" : "false") + ")");
+      request_stop(request.drain);
+      return false;
+    }
+  }
+  return respond(error_response("unhandled command"));
+}
+
+std::shared_ptr<Daemon::EventLog> Daemon::event_log(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<EventLog>& slot = logs_[id];
+  if (!slot) slot = std::make_shared<EventLog>();
+  return slot;
+}
+
+void Daemon::end_event_log(const std::string& id, JobState state,
+                           const std::string& error) {
+  Json event;
+  event.set("event", "end");
+  event.set("id", id);
+  event.set("state", to_string(state));
+  if (!error.empty()) event.set("error", error);
+  event_log(id)->close_with(event.dump());
+}
+
+FittedBackend Daemon::fitted_backend(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::shared_ptr<BackendEntry>& slot = backends_[name];
+  if (!slot) {
+    // First job for this backend builds + fits it; concurrent jobs wait.
+    const auto entry = slot = std::make_shared<BackendEntry>();
+    lock.unlock();
+    FittedBackend backend;
+    std::string error;
+    try {
+      backend = config_.factory(name);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    lock.lock();
+    entry->backend = std::move(backend);
+    entry->error = std::move(error);
+    entry->building = false;
+    backend_ready_.notify_all();
+  }
+  const std::shared_ptr<BackendEntry> entry = slot;
+  backend_ready_.wait(lock, [&] { return !entry->building; });
+  if (!entry->error.empty()) {
+    // A failed build stays failed (no retry storm); the error names the
+    // backend so a typo'd submit is obvious from STATUS.
+    throw std::runtime_error("backend \"" + name + "\": " + entry->error);
+  }
+  return entry->backend;
+}
+
+void Daemon::run_generation_job(const JobSpec& spec,
+                                const JobScheduler::Handle& handle) {
+  const std::shared_ptr<EventLog> log = event_log(handle.id());
+  JobState outcome = JobState::kDone;
+  std::string error;
+  try {
+    const FittedBackend backend = fitted_backend(spec.backend);
+
+    service::ShardedDiskSink disk({.dir = spec.out,
+                                   .seed = spec.seed,
+                                   .shard_size = spec.shard_size,
+                                   .fresh = spec.fresh,
+                                   .with_synth_stats = spec.synth_stats,
+                                   .log = nullptr});
+    StreamingManifestSink stream(
+        {.job_id = handle.id(),
+         .shard_size = spec.shard_size,
+         .with_synth_stats = spec.synth_stats},
+        [log](std::string line) { log->append(std::move(line)); });
+    service::TeeSink tee(disk);
+    tee.add(stream);
+
+    service::GenerationService svc(
+        *backend.model,
+        {.batch = {.batch = spec.batch, .threads = spec.threads},
+         .queue_capacity = spec.queue});
+    const std::size_t resumed = std::min(disk.resume_index(), spec.count);
+    handle.set_progress([&svc, resumed] {
+      return JobProgress{resumed + svc.designs_written(),
+                         svc.designs_written(), svc.groups_pumped()};
+    });
+    // The provider above reads svc's atomics; svc dies with this scope,
+    // so freeze the final numbers into a value capture on every exit path
+    // — a STATUS after completion must not chase a dangling reference.
+    struct FreezeProgress {
+      const JobScheduler::Handle& handle;
+      service::GenerationService& svc;
+      std::size_t resumed;
+      ~FreezeProgress() {
+        handle.set_progress(
+            [p = JobProgress{resumed + svc.designs_written(),
+                             svc.designs_written(), svc.groups_pumped()}] {
+              return p;
+            });
+      }
+    } freeze{handle, svc, resumed};
+
+    log_line(handle.id() + " running (resume at " + std::to_string(resumed) +
+             "/" + std::to_string(spec.count) + ")");
+    svc.run({.count = spec.count,
+             .seed = spec.seed,
+             .attrs = backend.attrs,
+             .cancel = handle.cancel_token()},
+            tee);
+  } catch (const service::CancelledError&) {
+    outcome = JobState::kCancelled;
+  } catch (const std::exception& e) {
+    outcome = JobState::kFailed;
+    error = e.what();
+  }
+
+  // The terminal "end" event is NOT emitted here: the scheduler's
+  // on_terminal hook appends it after the state change is visible, so
+  // stream consumers and STATUS pollers can never disagree. Re-raise so
+  // the scheduler records this same outcome.
+  if (outcome == JobState::kCancelled) throw service::CancelledError();
+  if (outcome == JobState::kFailed) throw std::runtime_error(error);
+}
+
+}  // namespace syn::server

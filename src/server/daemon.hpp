@@ -1,0 +1,217 @@
+// The dataset-generation daemon: a resident socket front end over
+// service::GenerationService.
+//
+//   listener (unix socket, optional loopback TCP)
+//        │ one thread per connection, newline-delimited JSON requests
+//        ▼
+//   JobScheduler (fair-share across clients, N concurrent, cancel/drain)
+//        │ job body, on a pool thread
+//        ▼
+//   GenerationService ── TeeSink ──► ShardedDiskSink      (durable dataset)
+//                            └─────► StreamingManifestSink ► job event log
+//                                                             │ replay+follow
+//                                                             ▼
+//                                                        STREAM subscribers
+//
+// Jobs run through the same ShardedDiskSink as a local generate_dataset
+// invocation — same lockfile, same checkpoint, same manifests — so a
+// daemon job is byte-identical to the equivalent CLI run, a killed daemon
+// resumes from the checkpoint on restart, and a daemon job can even pick
+// up where an interrupted CLI run left off.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "core/registry.hpp"
+#include "server/protocol.hpp"
+#include "server/scheduler.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace syn::server {
+
+/// A generator ready to serve jobs: the fitted model plus the attribute
+/// sampler that conditions each design. Built once per backend name and
+/// cached for the daemon's lifetime (models are read-only after fit, so
+/// concurrent jobs share one instance).
+struct FittedBackend {
+  std::shared_ptr<core::GeneratorModel> model;
+  /// Draws design i's conditioning attributes; must depend only on
+  /// (i, rng) so daemon jobs reproduce local runs exactly.
+  std::function<graph::NodeAttrs(std::size_t index, util::Rng& rng)> attrs;
+};
+
+/// Builds + fits a backend by registry name; throws for unknown names.
+using BackendFactory = std::function<FittedBackend(const std::string& name)>;
+
+/// The dataset-production model tuning shared by the daemon's default
+/// factory and the generate_dataset local path. Single-sourced on
+/// purpose: byte-identical daemon-vs-CLI output depends on both sides
+/// constructing the model identically.
+[[nodiscard]] core::BackendConfig default_backend_config();
+
+/// Node count of design i under the default attrs formula (mixed 60/80/
+/// 100-node designs), shared for the same byte-identity reason.
+[[nodiscard]] constexpr std::size_t default_attr_nodes(std::size_t i) {
+  return 60 + 20 * (i % 3);
+}
+
+/// The production factory: core::make_generator(default_backend_config),
+/// fitted on the 22-design RTL corpus, attrs drawn from an AttrSampler
+/// over that corpus at default_attr_nodes(i) — field-for-field what
+/// generate_dataset does locally.
+FittedBackend make_default_backend(const std::string& name,
+                                   std::ostream* log = nullptr);
+
+struct DaemonConfig {
+  /// Unix-domain socket to listen on (required; created at start(),
+  /// unlinked at stop()).
+  std::filesystem::path socket_path;
+  /// Also listen on 127.0.0.1:tcp_port (0 = unix socket only).
+  int tcp_port = 0;
+  /// Jobs running concurrently (each parallelizes internally via
+  /// spec.threads).
+  std::size_t max_concurrent = 1;
+  /// Daemon log stream (connections, job lifecycle); null = quiet.
+  std::ostream* log = nullptr;
+  /// Backend construction hook; null = make_default_backend. Tests
+  /// inject cheap stub models here.
+  BackendFactory factory;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the listeners and starts accepting. Throws on bind failure
+  /// (socket path in use by a live daemon, TCP port taken, ...).
+  void start();
+
+  /// Blocks until a protocol shutdown request (or request_stop) arrives,
+  /// then tears down: stops intake, drains or cancels the scheduler,
+  /// closes every connection, joins every thread. start() + serve() is
+  /// the daemon main loop.
+  void serve();
+
+  /// Asynchronous stop trigger (signal handlers, tests). drain=true
+  /// finishes queued + running jobs first.
+  void request_stop(bool drain);
+
+  [[nodiscard]] const DaemonConfig& config() const { return config_; }
+  [[nodiscard]] JobScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  /// Replayable per-job event feed. STREAM subscribers read from
+  /// sequence 0 (replay) and block at the tail (follow) until the job's
+  /// terminal "end" event closes the log. Retention is bounded: only the
+  /// most recent kMaxBacklog lines stay in memory (a resident daemon
+  /// must not hold every record event of every finished job forever), so
+  /// a subscriber attaching late replays the retained window — the
+  /// terminal event, appended last, is always retained.
+  class EventLog {
+   public:
+    /// Lines retained per job (~150 B each, so a few hundred KB worst
+    /// case). Live followers are unaffected — they consume as lines are
+    /// appended, long before the window slides past them.
+    static constexpr std::size_t kMaxBacklog = 4096;
+
+    void append(std::string line);
+    void close();
+    /// Atomically appends the terminal line and closes; no-op when
+    /// already closed — callers may race (job completion vs daemon
+    /// teardown) and exactly one terminal event must win.
+    void close_with(std::string line);
+    [[nodiscard]] bool closed() const;
+    /// First retained line with sequence >= seq, blocking while the log
+    /// is open with nothing that new yet; nullopt once closed and
+    /// drained. Returns the line's actual sequence so callers resume at
+    /// (returned seq + 1) even across a slid window.
+    [[nodiscard]] std::optional<std::pair<std::size_t, std::string>>
+    wait_from(std::size_t seq) const;
+
+   private:
+    mutable std::mutex mutex_;
+    mutable std::condition_variable grew_;
+    std::deque<std::string> lines_;
+    std::size_t base_ = 0;  ///< sequence number of lines_.front()
+    bool closed_ = false;
+  };
+
+  void accept_loop(int listen_fd);
+  void handle_connection(int fd, std::size_t connection_id);
+  /// One request -> one response (STREAM additionally writes event lines
+  /// before returning its terminal response). Returns false when the
+  /// connection should close (write failure).
+  bool handle_request(const Request& request, const std::string& conn_client,
+                      int fd);
+
+  void run_generation_job(const JobSpec& spec,
+                          const JobScheduler::Handle& handle);
+  std::shared_ptr<EventLog> event_log(const std::string& id);
+  /// Terminal event + close; no-op if the log is already closed.
+  void end_event_log(const std::string& id, JobState state,
+                     const std::string& error);
+  FittedBackend fitted_backend(const std::string& name);
+  [[nodiscard]] util::Json job_json(const JobScheduler::Info& info) const;
+  void log_line(const std::string& line);
+
+  DaemonConfig config_;
+
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> accept_threads_;
+
+  mutable std::mutex mutex_;  // connections, logs, specs, backends
+  std::vector<std::pair<std::size_t, int>> connections_;
+  std::vector<std::thread> connection_threads_;
+  std::size_t next_connection_ = 0;
+  std::map<std::string, std::shared_ptr<EventLog>> logs_;
+  std::map<std::string, JobSpec> specs_;
+
+  struct BackendEntry {
+    bool building = true;
+    FittedBackend backend;
+    std::string error;
+  };
+  std::map<std::string, std::shared_ptr<BackendEntry>> backends_;
+  std::condition_variable backend_ready_;
+
+  /// One-shot teardown executed by serve() (or the destructor if serve
+  /// never ran). Joins every thread; idempotent.
+  void teardown(bool drain);
+
+  mutable std::mutex log_mutex_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stop_drain_ = true;
+  std::mutex teardown_mutex_;
+  bool torn_down_ = false;
+  std::atomic<bool> started_{false};
+
+  /// Declared LAST on purpose: its destructor joins the job pool, and a
+  /// job's terminal callback may touch any member above — destroying the
+  /// scheduler first makes that safe.
+  std::unique_ptr<JobScheduler> scheduler_;
+};
+
+}  // namespace syn::server

@@ -1,0 +1,171 @@
+#include "server/protocol.hpp"
+
+#include <utility>
+
+namespace syn::server {
+
+using util::Json;
+
+Json to_json(const JobSpec& spec) {
+  const JobSpec defaults;
+  Json json;
+  json.set("count", spec.count);
+  json.set("seed", spec.seed);
+  if (spec.backend != defaults.backend) json.set("backend", spec.backend);
+  if (spec.out != defaults.out) json.set("out", spec.out.generic_string());
+  if (spec.batch != defaults.batch) json.set("batch", spec.batch);
+  if (spec.threads != defaults.threads) {
+    json.set("threads", static_cast<std::int64_t>(spec.threads));
+  }
+  if (spec.shard_size != defaults.shard_size) {
+    json.set("shard_size", spec.shard_size);
+  }
+  if (spec.queue != defaults.queue) json.set("queue", spec.queue);
+  if (spec.fresh != defaults.fresh) json.set("fresh", spec.fresh);
+  if (spec.synth_stats != defaults.synth_stats) {
+    json.set("synth_stats", spec.synth_stats);
+  }
+  return json;
+}
+
+namespace {
+
+/// Wraps util::JsonError into ProtocolError so a malformed field reports
+/// which part of the spec/request it sat in.
+template <typename Fn>
+auto protocol_field(const char* context, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const util::JsonError& e) {
+    throw ProtocolError(std::string(context) + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+JobSpec job_spec_from_json(const Json& json) {
+  if (!json.is_object()) throw ProtocolError("spec must be a JSON object");
+  JobSpec spec;
+  protocol_field("spec", [&] {
+    spec.count = json.at("count").u64();
+    spec.seed = json.at("seed").u64();
+    if (const Json* v = json.find("backend")) spec.backend = v->str();
+    if (const Json* v = json.find("out")) spec.out = v->str();
+    if (const Json* v = json.find("batch")) spec.batch = v->u64();
+    if (const Json* v = json.find("threads")) {
+      spec.threads = static_cast<int>(v->i64());
+    }
+    if (const Json* v = json.find("shard_size")) spec.shard_size = v->u64();
+    if (const Json* v = json.find("queue")) spec.queue = v->u64();
+    if (const Json* v = json.find("fresh")) spec.fresh = v->boolean();
+    if (const Json* v = json.find("synth_stats")) {
+      spec.synth_stats = v->boolean();
+    }
+  });
+  if (spec.count == 0) throw ProtocolError("spec.count must be positive");
+  if (spec.batch == 0) throw ProtocolError("spec.batch must be positive");
+  if (spec.queue == 0) throw ProtocolError("spec.queue must be positive");
+  if (spec.threads < 1) throw ProtocolError("spec.threads must be >= 1");
+  return spec;
+}
+
+std::string to_string(Request::Cmd cmd) {
+  switch (cmd) {
+    case Request::Cmd::kSubmit:
+      return "submit";
+    case Request::Cmd::kStatus:
+      return "status";
+    case Request::Cmd::kList:
+      return "list";
+    case Request::Cmd::kCancel:
+      return "cancel";
+    case Request::Cmd::kStream:
+      return "stream";
+    case Request::Cmd::kPing:
+      return "ping";
+    case Request::Cmd::kShutdown:
+      return "shutdown";
+  }
+  return "ping";
+}
+
+std::string encode(const Request& request) {
+  Json json;
+  json.set("cmd", to_string(request.cmd));
+  switch (request.cmd) {
+    case Request::Cmd::kSubmit:
+      if (!request.client.empty()) json.set("client", request.client);
+      json.set("spec", to_json(request.spec));
+      break;
+    case Request::Cmd::kStatus:
+    case Request::Cmd::kCancel:
+    case Request::Cmd::kStream:
+      json.set("id", request.id);
+      break;
+    case Request::Cmd::kShutdown:
+      json.set("drain", request.drain);
+      break;
+    case Request::Cmd::kList:
+    case Request::Cmd::kPing:
+      break;
+  }
+  return json.dump();
+}
+
+Request parse_request(const std::string& line) {
+  Json json;
+  try {
+    json = Json::parse(line);
+  } catch (const util::JsonError& e) {
+    throw ProtocolError(e.what());
+  }
+  if (!json.is_object()) throw ProtocolError("request must be a JSON object");
+
+  Request request;
+  const std::string cmd =
+      protocol_field("request", [&] { return json.at("cmd").str(); });
+  if (cmd == "submit") {
+    request.cmd = Request::Cmd::kSubmit;
+    if (const Json* client = json.find("client")) {
+      request.client = protocol_field("client", [&] { return client->str(); });
+    }
+    const Json* spec = json.find("spec");
+    if (!spec) throw ProtocolError("submit requires a spec object");
+    request.spec = job_spec_from_json(*spec);
+  } else if (cmd == "status" || cmd == "cancel" || cmd == "stream") {
+    request.cmd = cmd == "status"  ? Request::Cmd::kStatus
+                  : cmd == "cancel" ? Request::Cmd::kCancel
+                                    : Request::Cmd::kStream;
+    request.id =
+        protocol_field("request", [&] { return json.at("id").str(); });
+    if (request.id.empty()) throw ProtocolError("id must not be empty");
+  } else if (cmd == "list") {
+    request.cmd = Request::Cmd::kList;
+  } else if (cmd == "ping") {
+    request.cmd = Request::Cmd::kPing;
+  } else if (cmd == "shutdown") {
+    request.cmd = Request::Cmd::kShutdown;
+    if (const Json* drain = json.find("drain")) {
+      request.drain =
+          protocol_field("drain", [&] { return drain->boolean(); });
+    }
+  } else {
+    throw ProtocolError("unknown cmd \"" + cmd + "\"");
+  }
+  return request;
+}
+
+Json ok_response() {
+  Json json;
+  json.set("ok", true);
+  return json;
+}
+
+Json error_response(const std::string& message) {
+  Json json;
+  json.set("ok", false);
+  json.set("error", message);
+  return json;
+}
+
+}  // namespace syn::server

@@ -1,0 +1,102 @@
+// Wire protocol of the dataset-generation daemon: newline-delimited JSON
+// over a stream socket (Unix-domain or TCP). One request object per line;
+// every request gets exactly one response line, except STREAM, which gets
+// an acknowledgement followed by one event line per manifest record and a
+// terminal "end" event.
+//
+// Grammar (one JSON object per line, '\n'-terminated):
+//
+//   request  := {"cmd":"submit","client":C?,"spec":SPEC}
+//             | {"cmd":"status","id":ID}
+//             | {"cmd":"list"}
+//             | {"cmd":"cancel","id":ID}
+//             | {"cmd":"stream","id":ID}
+//             | {"cmd":"ping"}
+//             | {"cmd":"shutdown","drain":BOOL?}
+//   SPEC     := {"count":N,"seed":S,"backend":B?,"out":DIR?,"batch":K?,
+//                "threads":T?,"shard_size":N?,"queue":N?,"fresh":BOOL?,
+//                "synth_stats":BOOL?}
+//   response := {"ok":true, ...}          (request-specific payload)
+//             | {"ok":false,"error":MSG}
+//   event    := {"event":"record","id":ID,"index":I,...manifest fields}
+//             | {"event":"summary","id":ID,...run summary}
+//             | {"event":"end","id":ID,"state":STATE,"error":MSG?}
+//
+// The encode/parse pair below round-trips Request exactly; responses are
+// built as util::Json directly (their shape varies per command).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace syn::server {
+
+/// Malformed or semantically invalid protocol input. The daemon converts
+/// these into {"ok":false,"error":...} responses instead of dropping the
+/// connection.
+struct ProtocolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Everything a daemon job needs to run one dataset generation through
+/// GenerationService + ShardedDiskSink. Field-for-field this mirrors the
+/// generate_dataset CLI flags, so a submitted job and a local run with
+/// the same spec produce byte-identical datasets.
+struct JobSpec {
+  std::size_t count = 0;
+  std::uint64_t seed = 0;
+  std::string backend = "syncircuit";
+  std::filesystem::path out = "synthetic_dataset";
+  std::size_t batch = 8;
+  int threads = 1;
+  std::size_t shard_size = 64;
+  std::size_t queue = 32;
+  bool fresh = false;
+  bool synth_stats = true;
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// Encodes only fields that differ from the defaults plus the required
+/// count/seed, keeping submit lines short; parse() fills defaults back.
+util::Json to_json(const JobSpec& spec);
+JobSpec job_spec_from_json(const util::Json& json);
+
+struct Request {
+  enum class Cmd { kSubmit, kStatus, kList, kCancel, kStream, kPing,
+                   kShutdown };
+
+  Cmd cmd = Cmd::kPing;
+  /// Target job id (status / cancel / stream).
+  std::string id;
+  /// Submitting client's fair-share identity (submit; empty = the daemon
+  /// assigns one per connection).
+  std::string client;
+  /// Submit payload.
+  JobSpec spec;
+  /// Shutdown: finish queued + running jobs first (true) or cancel them
+  /// (false).
+  bool drain = true;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+[[nodiscard]] std::string to_string(Request::Cmd cmd);
+
+/// One protocol line (without the trailing '\n').
+[[nodiscard]] std::string encode(const Request& request);
+
+/// Parses one request line. Throws ProtocolError on malformed JSON, an
+/// unknown cmd, or a missing required field.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Response helpers — every daemon reply goes through one of these.
+[[nodiscard]] util::Json ok_response();
+[[nodiscard]] util::Json error_response(const std::string& message);
+
+}  // namespace syn::server

@@ -1,0 +1,256 @@
+#include "server/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "service/generation_service.hpp"
+
+namespace syn::server {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "queued";
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+void JobScheduler::Handle::set_progress(
+    std::function<JobProgress()> provider) const {
+  const std::lock_guard<std::mutex> lock(scheduler_->mutex_);
+  const auto it = scheduler_->jobs_.find(id_);
+  if (it != scheduler_->jobs_.end()) {
+    it->second->progress = std::move(provider);
+  }
+}
+
+JobScheduler::JobScheduler() : JobScheduler(Options{}) {}
+
+JobScheduler::JobScheduler(Options options) : options_(options) {
+  if (options_.max_concurrent == 0) options_.max_concurrent = 1;
+  if (options_.pool) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.max_concurrent);
+    pool_ = owned_pool_.get();
+  }
+}
+
+JobScheduler::~JobScheduler() { shutdown(false); }
+
+std::string JobScheduler::submit(const std::string& client, JobFn fn) {
+  if (!fn) throw std::invalid_argument("JobScheduler::submit: empty job");
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    throw std::runtime_error("JobScheduler: shutting down, not accepting jobs");
+  }
+  auto job = std::make_shared<Job>();
+  job->id = "job-" + std::to_string(++sequence_);
+  job->client = client.empty() ? "anonymous" : client;
+  job->fn = std::move(fn);
+  jobs_.emplace(job->id, job);
+  order_.push_back(job->id);
+  if (pending_.find(job->client) == pending_.end()) {
+    rotation_.push_back(job->client);
+  }
+  pending_[job->client].push_back(job);
+  dispatch_locked();
+  return job->id;
+}
+
+void JobScheduler::dispatch_locked() {
+  while (running_ < options_.max_concurrent) {
+    // Least-recently-served client with pending work goes first: a client
+    // that floods the queue keeps getting deferred behind everyone who
+    // has waited longer, including clients that joined after the flood.
+    const std::string* chosen = nullptr;
+    for (const std::string& client : rotation_) {
+      if (pending_[client].empty()) continue;
+      if (!chosen || last_served_[client] < last_served_[*chosen]) {
+        chosen = &client;
+      }
+    }
+    if (!chosen) return;
+    auto& queue = pending_[*chosen];
+    std::shared_ptr<Job> job = std::move(queue.front());
+    queue.pop_front();
+    last_served_[*chosen] = ++serve_stamp_;
+    job->state = JobState::kRunning;
+    ++running_;
+    pool_->submit([this, job = std::move(job)]() mutable {
+      run_job(std::move(job));
+    });
+  }
+}
+
+void JobScheduler::run_job(std::shared_ptr<Job> job) {
+  const Handle handle(this, job->id, &job->cancel);
+  JobState outcome = JobState::kDone;
+  std::string error;
+  try {
+    job->fn(handle);
+  } catch (const service::CancelledError&) {
+    outcome = JobState::kCancelled;
+  } catch (const std::exception& e) {
+    outcome = JobState::kFailed;
+    error = e.what();
+  } catch (...) {
+    outcome = JobState::kFailed;
+    error = "unknown exception";
+  }
+  std::function<void(const Info&)> on_terminal;
+  Info info;
+  {
+    // Notify under the lock: the destructor's shutdown() wait may free
+    // this scheduler the instant running_ hits 0, so past the unlock we
+    // only touch local copies (the callback included).
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->state = outcome;
+    job->error = std::move(error);
+    job->fn = nullptr;  // release captured resources promptly
+    --running_;
+    dispatch_locked();
+    if (options_.on_terminal) {
+      on_terminal = options_.on_terminal;
+      info = info_locked(*job);
+    }
+    changed_.notify_all();
+  }
+  if (on_terminal) on_terminal(info);
+}
+
+JobScheduler::Info JobScheduler::info_locked(const Job& job) const {
+  Info info;
+  info.id = job.id;
+  info.client = job.client;
+  info.state = job.state;
+  info.error = job.error;
+  if (job.progress) info.progress = job.progress();
+  return info;
+}
+
+JobScheduler::Info JobScheduler::info(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("JobScheduler: unknown job \"" + id + "\"");
+  }
+  return info_locked(*it->second);
+}
+
+std::vector<JobScheduler::Info> JobScheduler::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Info> result;
+  result.reserve(order_.size());
+  for (const std::string& id : order_) {
+    result.push_back(info_locked(*jobs_.at(id)));
+  }
+  return result;
+}
+
+bool JobScheduler::cancel(const std::string& id) {
+  std::function<void(const Info&)> on_terminal;
+  Info info;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = *it->second;
+    if (is_terminal(job.state)) return false;
+    job.cancel.store(true, std::memory_order_relaxed);
+    // Running: the body polls the token and unwinds on its own schedule
+    // (run_job fires the terminal callback then). Queued: settle here.
+    if (job.state != JobState::kQueued) return true;
+    auto& queue = pending_[job.client];
+    queue.erase(std::remove(queue.begin(), queue.end(), it->second),
+                queue.end());
+    job.state = JobState::kCancelled;
+    job.fn = nullptr;
+    if (options_.on_terminal) {
+      on_terminal = options_.on_terminal;
+      info = info_locked(job);
+    }
+    changed_.notify_all();
+  }
+  if (on_terminal) on_terminal(info);
+  return true;
+}
+
+JobState JobScheduler::wait(const std::string& id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("JobScheduler: unknown job \"" + id + "\"");
+  }
+  const std::shared_ptr<Job> job = it->second;
+  changed_.wait(lock, [&] { return is_terminal(job->state); });
+  return job->state;
+}
+
+void JobScheduler::shutdown(bool drain) {
+  std::function<void(const Info&)> on_terminal;
+  std::vector<Info> cancelled;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    if (!drain) {
+      for (auto& [client, queue] : pending_) {
+        for (const std::shared_ptr<Job>& job : queue) {
+          job->cancel.store(true, std::memory_order_relaxed);
+          job->state = JobState::kCancelled;
+          job->fn = nullptr;
+          cancelled.push_back(info_locked(*job));
+        }
+        queue.clear();
+      }
+      for (auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) {
+          job->cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+      on_terminal = options_.on_terminal;
+    }
+    changed_.notify_all();
+  }
+  if (on_terminal) {
+    for (const Info& info : cancelled) on_terminal(info);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  changed_.wait(lock, [&] {
+    if (running_ > 0) return false;
+    if (!drain) return true;
+    for (const auto& [client, queue] : pending_) {
+      if (!queue.empty()) return false;
+    }
+    return true;
+  });
+}
+
+std::size_t JobScheduler::running_jobs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+std::size_t JobScheduler::queued_jobs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [client, queue] : pending_) total += queue.size();
+  return total;
+}
+
+}  // namespace syn::server

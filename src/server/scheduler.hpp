@@ -1,0 +1,186 @@
+// JobScheduler: the daemon's multi-client job queue.
+//
+// Clients submit opaque job bodies; the scheduler runs up to
+// `max_concurrent` of them at once on a util::ThreadPool (shared or
+// owned) and picks the next job fair-share round-robin ACROSS clients —
+// a client that dumps 50 jobs into the queue cannot starve a client that
+// submitted one, because dispatch rotates between clients with pending
+// work, not through a global FIFO. Within one client, jobs run in
+// submission order.
+//
+// Lifecycle:   queued -> running -> done | failed | cancelled
+// Cancel of a queued job removes it without running; cancel of a running
+// job trips its cancel token (the body polls it — GenerationService
+// checks between groups) and the state lands on cancelled when the body
+// honours the token by throwing service::CancelledError, or on the
+// body's own outcome if it finishes anyway. shutdown(drain=true) stops
+// intake and finishes all queued + running work; drain=false cancels
+// everything and waits only for running bodies to unwind.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace syn::server {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+[[nodiscard]] const char* to_string(JobState state);
+[[nodiscard]] bool is_terminal(JobState state);
+
+/// Pull-model progress snapshot: the job body registers a provider
+/// reading whatever counters it has (e.g. GenerationService's atomics),
+/// and STATUS calls it on demand.
+struct JobProgress {
+  std::size_t produced = 0;
+  std::size_t written = 0;
+  std::size_t groups = 0;
+};
+
+class JobScheduler {
+ public:
+  /// The body's view of its own job: the cancel token to poll (or hand to
+  /// GenerationJob.cancel) and the progress-provider registration.
+  class Handle {
+   public:
+    [[nodiscard]] const std::string& id() const { return id_; }
+    [[nodiscard]] bool cancelled() const {
+      return cancel_->load(std::memory_order_relaxed);
+    }
+    /// The token itself, for GenerationJob.cancel.
+    [[nodiscard]] const std::atomic<bool>* cancel_token() const {
+      return cancel_;
+    }
+    /// Registers a snapshot provider; called from STATUS threads, so it
+    /// must be safe to invoke concurrently with the job body.
+    void set_progress(std::function<JobProgress()> provider) const;
+
+   private:
+    friend class JobScheduler;
+    Handle(JobScheduler* scheduler, std::string id,
+           const std::atomic<bool>* cancel)
+        : scheduler_(scheduler), id_(std::move(id)), cancel_(cancel) {}
+    JobScheduler* scheduler_;
+    std::string id_;
+    const std::atomic<bool>* cancel_;
+  };
+
+  /// The job body. Runs on a pool thread. Outcome mapping: returning
+  /// normally = done; throwing service::CancelledError = cancelled;
+  /// throwing anything else = failed, with the exception text recorded.
+  /// A body that wants "cancelled" state must honour its token by
+  /// throwing — finishing normally reports done even if the token is set.
+  using JobFn = std::function<void(const Handle&)>;
+
+  struct Info {
+    std::string id;
+    std::string client;
+    JobState state = JobState::kQueued;
+    std::string error;      ///< what() of a failed body
+    JobProgress progress;   ///< live snapshot (all zero before running)
+  };
+
+  struct Options {
+    /// Jobs running at once. Dataset jobs parallelize internally
+    /// (generate_batch owns its own pool), so 1–2 is the sweet spot on a
+    /// small box.
+    std::size_t max_concurrent = 1;
+    /// Shared execution substrate; null = the scheduler owns a pool of
+    /// max_concurrent workers. Job bodies must not submit work to this
+    /// same pool (they'd deadlock a fully-busy pool); model-internal
+    /// pools are separate and fine.
+    util::ThreadPool* pool = nullptr;
+    /// Invoked exactly once per job, after its terminal state became
+    /// visible to info()/wait() — so anything the callback publishes
+    /// (e.g. the daemon's terminal stream event) happens-after the state
+    /// change. Runs on an unspecified thread with no scheduler lock held;
+    /// it may call back into the scheduler.
+    std::function<void(const Info&)> on_terminal;
+  };
+
+  explicit JobScheduler(Options options);
+  /// Default options (one slot, owned pool). A separate constructor
+  /// because a nested struct's member initializers cannot appear in a
+  /// default argument before the enclosing class is complete.
+  JobScheduler();
+  /// shutdown(drain=false) + wait.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueues a job for `client` and returns its id ("job-N"). Throws
+  /// std::runtime_error after shutdown().
+  std::string submit(const std::string& client, JobFn fn);
+
+  /// Snapshot of one job; throws std::out_of_range for an unknown id.
+  [[nodiscard]] Info info(const std::string& id) const;
+  /// All jobs, in submission order.
+  [[nodiscard]] std::vector<Info> list() const;
+
+  /// Requests cancellation. Queued jobs move to cancelled immediately and
+  /// never run; running jobs get their token tripped. Returns false when
+  /// the job is unknown or already terminal.
+  bool cancel(const std::string& id);
+
+  /// Blocks until `id` reaches a terminal state (throws for unknown id).
+  JobState wait(const std::string& id);
+
+  /// Stops intake. drain=true finishes queued + running jobs; false
+  /// cancels queued jobs and trips running tokens. Returns once no job
+  /// body is running. Idempotent (the first call's drain mode wins).
+  void shutdown(bool drain);
+
+  [[nodiscard]] std::size_t running_jobs() const;
+  [[nodiscard]] std::size_t queued_jobs() const;
+
+ private:
+  struct Job {
+    std::string id;
+    std::string client;
+    JobFn fn;
+    JobState state = JobState::kQueued;
+    std::string error;
+    std::atomic<bool> cancel{false};
+    std::function<JobProgress()> progress;
+  };
+
+  /// Starts queued jobs while slots are free, picking the least-recently-
+  /// served client with pending work each time (ties broken by first-seen
+  /// order) — round-robin that stays fair when clients join mid-stream.
+  /// Caller holds mutex_.
+  void dispatch_locked();
+  void run_job(std::shared_ptr<Job> job);
+  [[nodiscard]] Info info_locked(const Job& job) const;
+
+  Options options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::vector<std::string> order_;                   // submission order
+  std::map<std::string, std::deque<std::shared_ptr<Job>>> pending_;
+  std::vector<std::string> rotation_;  // clients, in first-seen order
+  /// Dispatch stamp of each client's most recent job (0 = never served);
+  /// the scheduler serves the smallest stamp first.
+  std::map<std::string, std::uint64_t> last_served_;
+  std::uint64_t serve_stamp_ = 0;
+  std::size_t running_ = 0;
+  std::size_t sequence_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace syn::server

@@ -1,0 +1,172 @@
+#include "server/socket_io.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+namespace syn::server::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::optional<std::string> read_line(int fd, std::string& carry) {
+  while (true) {
+    const auto newline = carry.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = carry.substr(0, newline);
+      carry.erase(0, newline + 1);
+      return line;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;  // connection error == EOF for our purposes
+    }
+    if (n == 0) {
+      if (carry.empty()) return std::nullopt;
+      std::string line = std::move(carry);
+      carry.clear();
+      return line;  // trailing unterminated fragment
+    }
+    carry.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+int listen_unix(const std::filesystem::path& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string raw = path.string();
+  if (raw.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path too long (" +
+                             std::to_string(raw.size()) + " >= " +
+                             std::to_string(sizeof(addr.sun_path)) +
+                             "): " + raw);
+  }
+  std::memcpy(addr.sun_path, raw.c_str(), raw.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno == EADDRINUSE) {
+      // Either a live daemon or a stale socket file from a crashed one.
+      // Probe with a connect: refusal means stale — unlink and rebind.
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      const bool live =
+          probe >= 0 && ::connect(probe, reinterpret_cast<const sockaddr*>(
+                                             &addr),
+                                  sizeof(addr)) == 0;
+      if (probe >= 0) ::close(probe);
+      if (!live) {
+        ::unlink(addr.sun_path);
+        if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) == 0) {
+          if (::listen(fd, backlog) < 0) {
+            ::close(fd);
+            fail("listen(" + raw + ")");
+          }
+          return fd;
+        }
+      }
+      ::close(fd);
+      throw std::runtime_error("socket " + raw +
+                               " is in use by a running daemon");
+    }
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("bind(" + raw + ")");
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("listen(" + raw + ")");
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("bind/listen(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+int connect_unix(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string raw = path.string();
+  if (raw.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path too long: " + raw);
+  }
+  std::memcpy(addr.sun_path, raw.c_str(), raw.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("connect(" + raw + ")");
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("invalid IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+}  // namespace syn::server::io

@@ -1,0 +1,35 @@
+// Thin POSIX stream-socket helpers shared by the daemon (listen/accept
+// side) and the client library (connect side): blocking line-oriented I/O
+// for the newline-delimited JSON protocol, plus Unix-domain and loopback
+// TCP endpoint setup. All writes use MSG_NOSIGNAL so a client that hangs
+// up mid-stream surfaces as a failed write, not a SIGPIPE.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace syn::server::io {
+
+/// Writes the whole buffer; false when the peer is gone (EPIPE and
+/// friends).
+bool write_all(int fd, std::string_view data);
+
+/// Reads up to the next '\n' (not included in the result), buffering any
+/// overshoot in `carry` for the following call. nullopt = clean EOF (a
+/// final unterminated fragment is returned as a last line first).
+std::optional<std::string> read_line(int fd, std::string& carry);
+
+/// Binds + listens on a Unix-domain socket, replacing a stale socket file
+/// if nothing is listening behind it. Throws std::runtime_error on
+/// failure (including a path longer than sockaddr_un allows).
+int listen_unix(const std::filesystem::path& path, int backlog);
+
+/// Binds + listens on 127.0.0.1:port. Throws std::runtime_error.
+int listen_tcp(int port, int backlog);
+
+int connect_unix(const std::filesystem::path& path);
+int connect_tcp(const std::string& host, int port);
+
+}  // namespace syn::server::io

@@ -1,11 +1,19 @@
 #include "service/dataset_sink.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 #include "rtl/verilog.hpp"
 #include "synth/synthesizer.hpp"
@@ -13,6 +21,78 @@
 namespace syn::service {
 
 namespace {
+
+/// Takes the advisory lock at `path`: our pid is written to a private
+/// temp file which is then link(2)ed into place — atomic, so the lock is
+/// never observable without its pid (a created-then-written lock would
+/// open a window where a racer reads an empty file and "breaks" a live
+/// lock). When the link fails with EEXIST, the pid inside the existing
+/// lock decides: a live process means the dir is genuinely in use (throw
+/// — the fail-fast that stops two jobs interleaving one dir); a dead or
+/// unparsable pid is a stale lock from a crashed run and is broken. One
+/// retry after breaking a stale lock; losing that race throws.
+void acquire_lockfile(const std::filesystem::path& path) {
+  // Unique per acquisition, not just per process: two daemon jobs in one
+  // process racing the same dir must not share (and mutually delete) a
+  // temp file.
+  static std::atomic<unsigned> acquisition{0};
+  const std::filesystem::path tmp =
+      path.parent_path() /
+      (".lock.tmp." + std::to_string(::getpid()) + "." +
+       std::to_string(acquisition.fetch_add(1)));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << ::getpid() << "\n";
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw std::runtime_error("ShardedDiskSink: failed to write lockfile " +
+                               tmp.generic_string());
+    }
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (::link(tmp.c_str(), path.c_str()) == 0) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      return;
+    }
+    if (errno != EEXIST) {
+      const std::string reason = std::strerror(errno);
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw std::runtime_error("ShardedDiskSink: cannot create lockfile " +
+                               path.generic_string() + ": " + reason);
+    }
+    long long owner = 0;
+    {
+      std::ifstream in(path);
+      in >> owner;
+    }
+    // kill(pid, 0) probes liveness; EPERM still means "alive". Our own
+    // pid is always alive — a second sink in this process must fail too.
+    const bool alive =
+        owner > 0 && (::kill(static_cast<pid_t>(owner), 0) == 0 ||
+                      errno == EPERM);
+    if (alive) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw std::runtime_error(
+          "ShardedDiskSink: output dir " +
+          path.parent_path().generic_string() +
+          " is locked by running process " + std::to_string(owner) +
+          " (" + path.filename().generic_string() +
+          "); another job is writing this dataset — pick a different dir "
+          "or wait for it to finish");
+    }
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);  // stale: owner is gone
+  }
+  std::error_code ignored;
+  std::filesystem::remove(tmp, ignored);
+  throw std::runtime_error("ShardedDiskSink: lost lockfile race for " +
+                           path.generic_string());
+}
 
 /// Reads "key=value" lines; returns the checkpointed next index when the
 /// file exists and both seed and shard_size match (a different seed means
@@ -85,6 +165,8 @@ void prune_manifest(const std::filesystem::path& path, std::size_t next) {
 ShardedDiskSink::ShardedDiskSink(Options options)
     : options_(std::move(options)) {
   std::filesystem::create_directories(options_.dir);
+  acquire_lockfile(options_.dir / ".lock");
+  locked_ = true;
   const auto checkpoint_path = options_.dir / "checkpoint.txt";
   const auto manifest_path = options_.dir / "manifest.jsonl";
   if (options_.fresh) {
@@ -101,6 +183,13 @@ ShardedDiskSink::ShardedDiskSink(Options options)
   // partially-committed last group on resume, or — when the checkpoint
   // seed mismatched (resume_ == 0) — the whole stale manifest.
   prune_manifest(manifest_path, resume_);
+}
+
+ShardedDiskSink::~ShardedDiskSink() {
+  if (locked_) {
+    std::error_code ignored;
+    std::filesystem::remove(options_.dir / ".lock", ignored);
+  }
 }
 
 std::filesystem::path ShardedDiskSink::shard_dir(std::size_t index) const {
@@ -177,6 +266,26 @@ void ShardedDiskSink::finalize(const DatasetSummary& summary) {
       << summary.batch << ",\"threads\":" << summary.threads
       << ",\"shard_size\":" << options_.shard_size
       << ",\"designs\":\"manifest.jsonl\"}\n";
+}
+
+TeeSink& TeeSink::add(DatasetSink& mirror) {
+  mirrors_.push_back(&mirror);
+  return *this;
+}
+
+void TeeSink::write(const DesignRecord& record) {
+  primary_->write(record);
+  for (DatasetSink* mirror : mirrors_) mirror->write(record);
+}
+
+void TeeSink::checkpoint(std::size_t next) {
+  primary_->checkpoint(next);
+  for (DatasetSink* mirror : mirrors_) mirror->checkpoint(next);
+}
+
+void TeeSink::finalize(const DatasetSummary& summary) {
+  primary_->finalize(summary);
+  for (DatasetSink* mirror : mirrors_) mirror->finalize(summary);
 }
 
 void MemorySink::write(const DesignRecord& record) {

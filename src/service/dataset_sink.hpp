@@ -64,12 +64,23 @@ class DatasetSink {
 ///   DIR/manifest.jsonl   one JSON record per design (appended per write)
 ///   DIR/checkpoint.txt   (seed, next) — rewritten by checkpoint()
 ///   DIR/manifest.json    run summary — written by finalize()
+///   DIR/.lock            advisory lockfile (pid) held for the sink's
+///                        lifetime — see below
 ///
 /// Resume semantics match the pre-service generate_dataset driver: the
 /// checkpoint is honoured only when its seed matches (a different seed
 /// means a different dataset), and manifest records at or beyond the
 /// resume index are pruned at construction so replayed designs never
 /// appear twice.
+///
+/// Ownership: the sink assumes exclusive use of the output directory.
+/// Construction takes an advisory lock (`.lock` holding the owner pid,
+/// created with O_EXCL) and throws std::runtime_error when another live
+/// process — or another sink in this process — already holds it, so two
+/// daemon jobs (or a daemon job and a CLI run) targeting the same dir
+/// fail fast instead of interleaving shards. A lockfile whose pid is no
+/// longer running (a crashed or killed run) is stale and is taken over
+/// silently; the destructor releases the lock.
 class ShardedDiskSink final : public DatasetSink {
  public:
   struct Options {
@@ -90,6 +101,10 @@ class ShardedDiskSink final : public DatasetSink {
   };
 
   explicit ShardedDiskSink(Options options);
+  ~ShardedDiskSink() override;
+
+  ShardedDiskSink(const ShardedDiskSink&) = delete;
+  ShardedDiskSink& operator=(const ShardedDiskSink&) = delete;
 
   [[nodiscard]] std::size_t resume_index() const override { return resume_; }
   void write(const DesignRecord& record) override;
@@ -103,6 +118,33 @@ class ShardedDiskSink final : public DatasetSink {
  private:
   Options options_;
   std::size_t resume_ = 0;
+  bool locked_ = false;
+};
+
+/// Fans one generation stream out to several sinks — e.g. disk plus a
+/// live manifest stream back to a daemon client, or disk plus a
+/// compressing mirror. The primary sink owns the durable checkpoint, so
+/// it alone drives resume; mirrors see the same write/checkpoint/finalize
+/// sequence and must tolerate a stream that starts at the primary's
+/// resume index rather than 0. Sinks are borrowed, not owned, and must
+/// outlive the tee.
+class TeeSink final : public DatasetSink {
+ public:
+  explicit TeeSink(DatasetSink& primary) : primary_(&primary) {}
+
+  /// Registers a mirror; returns *this for chaining.
+  TeeSink& add(DatasetSink& mirror);
+
+  [[nodiscard]] std::size_t resume_index() const override {
+    return primary_->resume_index();
+  }
+  void write(const DesignRecord& record) override;
+  void checkpoint(std::size_t next) override;
+  void finalize(const DatasetSummary& summary) override;
+
+ private:
+  DatasetSink* primary_;
+  std::vector<DatasetSink*> mirrors_;
 };
 
 /// In-memory sink for tests and embedded consumers: keeps every record,

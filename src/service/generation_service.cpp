@@ -38,6 +38,8 @@ GenerationStats GenerationService::run(const GenerationJob& job,
   if (!job.attrs) {
     throw std::invalid_argument("GenerationService: job.attrs is not set");
   }
+  written_.store(0, std::memory_order_relaxed);
+  groups_.store(0, std::memory_order_relaxed);
   GenerationStats stats;
   const std::size_t resume = sink.resume_index();
   stats.resumed_at = std::min(resume, job.count);
@@ -79,6 +81,7 @@ GenerationStats GenerationService::run(const GenerationJob& job,
       while (auto item = queue.pop()) {
         if (auto* record = std::get_if<DesignRecord>(&*item)) {
           sink.write(*record);
+          written_.fetch_add(1, std::memory_order_relaxed);
         } else {
           sink.checkpoint(std::get<Checkpoint>(*item).next);
         }
@@ -99,11 +102,17 @@ GenerationStats GenerationService::run(const GenerationJob& job,
                 static_cast<std::size_t>(std::max(config_.batch.threads, 1));
   std::exception_ptr producer_error;
   bool stopped = false;
+  bool cancelled = false;
   try {
     util::for_each_chunk(
         job.count - stats.resumed_at, group,
         [&](std::size_t lo, std::size_t n) {
           if (stopped) return;
+          if (job.cancel && job.cancel->load(std::memory_order_relaxed)) {
+            cancelled = true;
+            stopped = true;
+            return;
+          }
           const std::size_t base = stats.resumed_at + lo;
           std::vector<graph::Graph> graphs = model_.generate_batch(
               {attrs.data() + base, n}, {streams.data() + base, n},
@@ -124,7 +133,11 @@ GenerationStats GenerationService::run(const GenerationJob& job,
             }
             ++stats.produced;
           }
-          if (!queue.push(Checkpoint{base + n})) stopped = true;
+          if (!queue.push(Checkpoint{base + n})) {
+            stopped = true;
+            return;
+          }
+          groups_.fetch_add(1, std::memory_order_relaxed);
         });
   } catch (...) {
     producer_error = std::current_exception();
@@ -134,6 +147,10 @@ GenerationStats GenerationService::run(const GenerationJob& job,
   consumer.join();
   if (sink_error) std::rethrow_exception(sink_error);
   if (producer_error) std::rethrow_exception(producer_error);
+  // Cancellation throws only after both threads quiesced: every group
+  // enqueued before the token tripped has landed (and checkpointed), so a
+  // resubmitted job resumes exactly there.
+  if (cancelled) throw CancelledError();
 
   sink.finalize(DatasetSummary{model_.name(), job.seed, job.count,
                                config_.batch.batch, config_.batch.threads});

@@ -11,6 +11,7 @@
 #include <optional>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "synth/synthesizer.hpp"
 #include "tests/support/fixtures.hpp"
 #include "util/batching.hpp"
+#include "util/bounded_queue.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -273,6 +275,58 @@ TEST(SynthCache, ConcurrentLookupsStayConsistent) {
   // design) before the first insert lands; everything later must hit.
   EXPECT_GE(cs.hits, areas.size() - designs.size() * pool.size());
   synth::reset_synthesis_cache();
+}
+
+TEST(BoundedQueue, CloseRacingMultiProducerPushLosesNoAcceptedItem) {
+  // close() racing a pack of blocked multi-producer push()es: every push
+  // that returned true must be popped exactly once, every push that
+  // returned false must NOT appear, and nobody may deadlock. (This
+  // binary runs under TSan in CI — the daemon scheduler cancels jobs by
+  // closing their service queues mid-flight, which is exactly this race.)
+  for (int round = 0; round < 20; ++round) {
+    util::BoundedQueue<int> q(2);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 50;
+    std::vector<std::atomic<bool>> accepted(
+        static_cast<std::size_t>(kProducers * kPerProducer));
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&q, &accepted, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const int value = p * kPerProducer + i;
+          if (q.push(value)) {
+            accepted[static_cast<std::size_t>(value)].store(true);
+          } else {
+            return;  // closed: the rest of this producer's items drop too
+          }
+        }
+      });
+    }
+    std::vector<int> popped;
+    std::thread consumer([&] {
+      // Drain a prefix, then keep draining after close until empty.
+      while (auto item = q.pop()) popped.push_back(*item);
+    });
+    // Let the race happen at an arbitrary point in the stream.
+    if (round % 2 == 0) std::this_thread::yield();
+    q.close();
+    for (auto& t : producers) t.join();
+    consumer.join();
+
+    std::set<int> seen;
+    for (const int v : popped) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+    }
+    // Exactly the accepted set was delivered: push()==true implies
+    // popped, push()==false implies absent.
+    std::size_t accepted_count = 0;
+    for (std::size_t v = 0; v < accepted.size(); ++v) {
+      accepted_count += accepted[v].load();
+      EXPECT_EQ(accepted[v].load(), seen.count(static_cast<int>(v)) > 0)
+          << "value " << v;
+    }
+    EXPECT_EQ(popped.size(), accepted_count);
+  }
 }
 
 TEST(ParallelMcts, SingleTreeConfigIgnoresThreadKnob) {

@@ -1,10 +1,14 @@
 // Tests for the utility layer: RNG statistical sanity and determinism,
-// table formatting, summaries.
+// table formatting, summaries, and the hand-rolled JSON used by the
+// daemon protocol.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
 
 #include "util/histogram.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -200,6 +204,72 @@ TEST_P(WassersteinProperty, TranslationCovariance) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WassersteinProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Json, ParsesEveryValueKind) {
+  const Json doc = Json::parse(
+      R"({"null":null,"t":true,"f":false,"int":-42,"big":18446744073709551615,)"
+      R"("pi":3.5,"s":"hi","a":[1,2,3],"o":{"k":"v"}})");
+  EXPECT_TRUE(doc.at("null").is_null());
+  EXPECT_TRUE(doc.at("t").boolean());
+  EXPECT_FALSE(doc.at("f").boolean());
+  EXPECT_EQ(doc.at("int").i64(), -42);
+  // 2^64 - 1 must round-trip exactly — the protocol carries RNG seeds.
+  EXPECT_EQ(doc.at("big").u64(), 18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(doc.at("pi").number(), 3.5);
+  EXPECT_EQ(doc.at("s").str(), "hi");
+  EXPECT_EQ(doc.at("a").array().size(), 3u);
+  EXPECT_EQ(doc.at("o").at("k").str(), "v");
+}
+
+TEST(Json, DumpParseRoundTripIsByteStable) {
+  // Insertion order is preserved, so dump(parse(dump(x))) == dump(x).
+  Json json;
+  json.set("seed", std::uint64_t{18446744073709551615ULL});
+  json.set("neg", std::int64_t{-7});
+  json.set("name", "synthetic_0");
+  json.set("frac", 0.25);
+  json.set("list", JsonArray{Json(1), Json("two"), Json(nullptr)});
+  const std::string once = json.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+  EXPECT_EQ(Json::parse(once), json);
+}
+
+TEST(Json, EscapesAndUnescapesStrings) {
+  Json json;
+  json.set("s", std::string("line\n\ttab \"quoted\" back\\slash \x01"));
+  const Json parsed = Json::parse(json.dump());
+  EXPECT_EQ(parsed.at("s").str(), json.at("s").str());
+  // \uXXXX escapes decode to UTF-8 (é, then 😀 as a surrogate pair).
+  EXPECT_EQ(Json::parse("\"\\u00e9\\ud83d\\ude00\"").str(),
+            "\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(Json::parse("[1 2]"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);  // trailing garbage
+}
+
+TEST(Json, TypedAccessorsEnforceExactness) {
+  const Json doc = Json::parse(R"({"neg":-1,"frac":1.5,"three":3})");
+  EXPECT_THROW((void)doc.at("neg").u64(), JsonError);
+  EXPECT_THROW((void)doc.at("frac").u64(), JsonError);
+  EXPECT_THROW((void)doc.at("frac").i64(), JsonError);
+  EXPECT_EQ(doc.at("three").u64(), 3u);
+  EXPECT_EQ(doc.at("three").i64(), 3);
+  EXPECT_THROW((void)doc.at("missing"), JsonError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  // Doubles outside the integer range must throw, not hit UB in the
+  // float-to-int cast — these arrive straight off the daemon's wire.
+  const Json huge = Json::parse(R"({"pos":1e300,"neg":-1e300})");
+  EXPECT_THROW((void)huge.at("pos").u64(), JsonError);
+  EXPECT_THROW((void)huge.at("pos").i64(), JsonError);
+  EXPECT_THROW((void)huge.at("neg").i64(), JsonError);
+}
 
 }  // namespace
 }  // namespace syn::util
