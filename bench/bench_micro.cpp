@@ -23,6 +23,7 @@
 #include "mcts/discriminator.hpp"
 #include "mcts/mcts.hpp"
 #include "rtl/generators.hpp"
+#include "server/metrics.hpp"
 #include "service/dataset_sink.hpp"
 #include "service/generation_service.hpp"
 #include "sta/sta.hpp"
@@ -376,5 +377,39 @@ void BM_ServiceThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(kItems));
 }
 BENCHMARK(BM_ServiceThroughput);
+
+/// METRICS snapshot cost at daemon-like registry population (the counters,
+/// gauges and latency tracks the daemon registers, with Arg observations
+/// spread across the tracks). The snapshot runs on the request path of
+/// every `synctl metrics` poll, so it must stay cheap and — more
+/// importantly — hold the registry's leaf lock briefly: inc()/observe()
+/// on job threads block behind it.
+void BM_MetricsSnapshot(benchmark::State& state) {
+  server::MetricsRegistry registry;
+  static std::int64_t gauge_source = 0;
+  for (const char* name : {"requests", "submit_accepted", "submit_rejected",
+                           "stream_events", "records_streamed",
+                           "designs_committed", "jobs_expired"}) {
+    registry.inc(name, 1000);
+  }
+  for (const char* name : {"connections", "event_logs", "event_log_lines",
+                           "tracked_specs", "terminal_retained",
+                           "expired_ring"}) {
+    registry.register_gauge(name, [] { return ++gauge_source; });
+  }
+  registry.declare_track("dispatch_ms", 0.0, 5000.0, 500);
+  registry.declare_track("job_ms", 0.0, 300000.0, 600);
+  registry.declare_track("group_commit_ms", 0.0, 30000.0, 300);
+  util::Rng rng(6);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    registry.observe("dispatch_ms", rng.uniform() * 50.0);
+    registry.observe("job_ms", rng.uniform() * 2000.0);
+    registry.observe("group_commit_ms", rng.uniform() * 100.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+}
+BENCHMARK(BM_MetricsSnapshot)->Arg(100)->Arg(10000);
 
 }  // namespace

@@ -1,10 +1,22 @@
 // syn_daemon: the resident dataset-generation server.
 //
 //   syn_daemon --socket=PATH [--tcp=PORT] [--jobs=N] [--quiet]
+//              [--max-queued=N] [--max-active=N] [--max-total-queued=N]
+//              [--max-designs=N] [--max-out-bytes=B]
+//              [--gc-retain=K] [--gc-ttl-ms=T]
+//
+// The --max-* flags are admission quotas (all default unlimited):
+// per-client queue depth, per-client queued+running, global queue depth,
+// designs per job, and bytes already in a job's output dir. Over-quota
+// SUBMITs get {"ok":false,"code":"quota_exceeded"}. --gc-retain /
+// --gc-ttl-ms bound terminal-job metadata: beyond K retained terminal
+// jobs per client (or T ms of age) a job's record is evicted and STATUS
+// answers {"ok":false,"code":"expired"}.
 //
 // Listens on a Unix-domain socket (plus optional loopback TCP) for
 // newline-delimited JSON requests — SUBMIT / STATUS / LIST / CANCEL /
-// STREAM / PING / SHUTDOWN — and runs submitted dataset jobs through the
+// STREAM / METRICS / PING / SHUTDOWN — and runs submitted dataset jobs
+// through the
 // same GenerationService + ShardedDiskSink pipeline as a local
 // generate_dataset run: same sharded layout, same manifests, same
 // checkpointed resume, byte-identical output. Drive it with synctl (or
@@ -25,8 +37,18 @@ namespace {
 
 int usage() {
   std::cerr << "usage: syn_daemon --socket=PATH [--tcp=PORT] [--jobs=N]"
-               " [--quiet]\n";
+               " [--quiet]\n"
+               "       [--max-queued=N] [--max-active=N]"
+               " [--max-total-queued=N]\n"
+               "       [--max-designs=N] [--max-out-bytes=B]"
+               " [--gc-retain=K] [--gc-ttl-ms=T]\n";
   return 1;
+}
+
+/// "--flag=" value as a non-negative size (0 = unlimited).
+std::size_t parse_size(const std::string& arg, std::size_t prefix) {
+  return static_cast<std::size_t>(
+      std::strtoull(arg.c_str() + prefix, nullptr, 10));
 }
 
 }  // namespace
@@ -47,6 +69,21 @@ int main(int argc, char** argv) {
         return 1;
       }
       config.max_concurrent = static_cast<std::size_t>(jobs);
+    } else if (arg.rfind("--max-queued=", 0) == 0) {
+      config.quotas.max_queued_per_client = parse_size(arg, 13);
+    } else if (arg.rfind("--max-active=", 0) == 0) {
+      config.quotas.max_active_per_client = parse_size(arg, 13);
+    } else if (arg.rfind("--max-total-queued=", 0) == 0) {
+      config.quotas.max_total_queued = parse_size(arg, 19);
+    } else if (arg.rfind("--max-designs=", 0) == 0) {
+      config.max_designs_per_job = parse_size(arg, 14);
+    } else if (arg.rfind("--max-out-bytes=", 0) == 0) {
+      config.max_out_bytes = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    } else if (arg.rfind("--gc-retain=", 0) == 0) {
+      config.gc_retain = parse_size(arg, 12);
+    } else if (arg.rfind("--gc-ttl-ms=", 0) == 0) {
+      config.gc_ttl = std::chrono::milliseconds(
+          std::strtoll(arg.c_str() + 12, nullptr, 10));
     } else if (arg == "--quiet") {
       config.log = nullptr;
     } else {

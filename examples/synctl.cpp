@@ -7,11 +7,21 @@
 //   synctl --socket=PATH status JOB
 //   synctl --socket=PATH list
 //   synctl --socket=PATH cancel JOB
-//   synctl --socket=PATH tail JOB
+//   synctl --socket=PATH tail JOB [--filter=all|records|checkpoints]
+//   synctl --socket=PATH metrics [--json]
+//   synctl --socket=PATH bench [--clients=K] [--jobs=N] [--count=C]
+//          [--backend=NAME] [--out=DIR] [--seed=S] [--batch=K]
+//          [--threads=T] [--quiet]
 //   synctl --socket=PATH ping
 //   synctl --socket=PATH shutdown [--now]
 //
 // (--tcp=HOST:PORT connects over loopback TCP instead of the socket.)
+//
+// `metrics` prints the daemon's METRICS snapshot as scrape-friendly
+// "syn_<section>_<name> <value>" lines (--json for the raw object).
+// `bench` load-tests the daemon: K client threads submit N jobs total
+// and stream them to completion, then a latency/throughput report
+// prints; exit code 1 if any job failed.
 //
 // Responses and streamed events print as the raw protocol JSON, one
 // object per line — greppable and pipeable to jq. Exit code: 0 on
@@ -23,7 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "server/bench.hpp"
 #include "server/client.hpp"
+#include "server/metrics.hpp"
 #include "server/protocol.hpp"
 #include "util/json.hpp"
 
@@ -31,6 +43,7 @@ namespace {
 
 using syn::server::ClientConnection;
 using syn::server::JobSpec;
+using syn::server::StreamFilter;
 using syn::util::Json;
 
 int usage() {
@@ -39,16 +52,22 @@ int usage() {
          "  submit [count] [--backend=NAME] [--out=DIR] [--seed=S]\n"
          "         [--batch=K] [--threads=T] [--shard-size=N] [--queue=N]\n"
          "         [--fresh] [--no-synth-stats] [--client=NAME] [--tail]\n"
-         "  status JOB | list | cancel JOB | tail JOB | ping\n"
+         "  status JOB | list | cancel JOB | ping\n"
+         "  tail JOB [--filter=all|records|checkpoints]\n"
+         "  metrics [--json]\n"
+         "  bench [--clients=K] [--jobs=N] [--count=C] [--backend=NAME]\n"
+         "        [--out=DIR] [--seed=S] [--batch=K] [--threads=T]"
+         " [--quiet]\n"
          "  shutdown [--now]\n";
   return 1;
 }
 
 /// Streams a job's events to stdout; returns 0 iff it ended "done".
-int tail_job(ClientConnection& conn, const std::string& id) {
-  const std::string state = conn.stream(id, [](const Json& event) {
-    std::cout << event.dump() << "\n";
-  });
+int tail_job(ClientConnection& conn, const std::string& id,
+             StreamFilter filter = StreamFilter::kAll) {
+  const std::string state = conn.stream(
+      id, [](const Json& event) { std::cout << event.dump() << "\n"; },
+      filter);
   return state == "done" ? 0 : 1;
 }
 
@@ -126,17 +145,94 @@ int run(int argc, char** argv) {
   }
 
   if (command == "status" || command == "cancel" || command == "tail") {
-    if (args.size() != 2) return usage();
+    if (args.size() < 2) return usage();
     const std::string& id = args[1];
     if (command == "status") {
+      if (args.size() != 2) return usage();
       std::cout << conn.status(id).dump() << "\n";
       return 0;
     }
     if (command == "cancel") {
+      if (args.size() != 2) return usage();
       std::cout << conn.cancel(id).dump() << "\n";
       return 0;
     }
-    return tail_job(conn, id);
+    StreamFilter filter = StreamFilter::kAll;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i].rfind("--filter=", 0) == 0) {
+        filter = syn::server::stream_filter_from_string(args[i].substr(9));
+      } else {
+        return usage();
+      }
+    }
+    return tail_job(conn, id, filter);
+  }
+
+  if (command == "metrics") {
+    bool json = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else {
+        return usage();
+      }
+    }
+    const Json snapshot = conn.metrics();
+    if (json) {
+      std::cout << snapshot.dump() << "\n";
+    } else {
+      std::cout << syn::server::render_metrics_text(snapshot);
+    }
+    return 0;
+  }
+
+  if (command == "bench") {
+    syn::server::BenchOptions options;
+    options.socket_path = socket;
+    if (!tcp.empty()) {
+      const auto colon = tcp.find(':');
+      options.tcp_host = tcp.substr(0, colon);
+      options.tcp_port = std::atoi(tcp.c_str() + colon + 1);
+    }
+    // Small, fast jobs by default — the point is daemon overhead, not
+    // model throughput.
+    options.spec.count = 4;
+    options.spec.batch = 2;
+    options.log = &std::cerr;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg.rfind("--clients=", 0) == 0) {
+        options.clients = static_cast<std::size_t>(std::atoll(arg.c_str() + 10));
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        options.total_jobs =
+            static_cast<std::size_t>(std::atoll(arg.c_str() + 7));
+      } else if (arg.rfind("--count=", 0) == 0) {
+        options.spec.count =
+            static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
+      } else if (arg.rfind("--backend=", 0) == 0) {
+        options.spec.backend = arg.substr(10);
+      } else if (arg.rfind("--out=", 0) == 0) {
+        options.out_root = arg.substr(6);
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        options.spec.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      } else if (arg.rfind("--batch=", 0) == 0) {
+        options.spec.batch =
+            static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        options.spec.threads = std::atoi(arg.c_str() + 10);
+      } else if (arg == "--quiet") {
+        options.log = nullptr;
+      } else {
+        return usage();
+      }
+    }
+    if (options.clients == 0 || options.total_jobs == 0) return usage();
+    // Like submit: pin the output root to this process's cwd, not the
+    // daemon's.
+    options.out_root = std::filesystem::absolute(options.out_root);
+    const syn::server::BenchReport report = syn::server::run_bench(options);
+    std::cout << report.render() << "\n";
+    return report.ok() ? 0 : 1;
   }
 
   if (command == "list") {

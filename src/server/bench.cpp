@@ -1,0 +1,169 @@
+#include "server/bench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "server/client.hpp"
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+
+namespace syn::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One worker's tally, merged into the report after join.
+struct WorkerResult {
+  std::size_t submitted = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t records = 0;
+  std::vector<double> latencies_ms;
+  std::vector<std::string> log_lines;
+};
+
+ClientConnection connect(const BenchOptions& options) {
+  if (options.tcp_port > 0) {
+    return ClientConnection::connect_tcp(
+        options.tcp_host.empty() ? "127.0.0.1" : options.tcp_host,
+        options.tcp_port);
+  }
+  return ClientConnection::connect_unix(options.socket_path);
+}
+
+void run_worker(const BenchOptions& options, std::size_t worker,
+                std::size_t stride, WorkerResult& result) {
+  const std::string client = "bench-" + std::to_string(worker);
+  for (std::size_t j = worker; j < options.total_jobs; j += stride) {
+    try {
+      // One connection per job: exercises the daemon's accept path the
+      // way a fleet of short-lived synctl invocations would.
+      ClientConnection conn = connect(options);
+      JobSpec spec = options.spec;
+      spec.seed = options.spec.seed + j;
+      spec.out = options.out_root / ("job-" + std::to_string(j));
+      const auto submitted_at = Clock::now();
+      const std::string id = conn.submit(spec, client);
+      ++result.submitted;
+      std::size_t records = 0;
+      const std::string state = conn.stream(
+          id,
+          [&](const util::Json& event) {
+            const util::Json* kind = event.find("event");
+            if (kind && kind->is_string() && kind->str() == "record") {
+              ++records;
+            }
+          },
+          StreamFilter::kRecords);
+      const double latency = ms_since(submitted_at);
+      result.records += records;
+      result.latencies_ms.push_back(latency);
+      if (state == "done") {
+        ++result.done;
+      } else {
+        ++result.failed;
+        result.log_lines.push_back(client + " " + id + " ended " + state);
+      }
+      if (options.log) {
+        result.log_lines.push_back(client + " " + id + " " + state + " in " +
+                                   util::fmt_fixed(latency, 1) + " ms (" +
+                                   std::to_string(records) + " records)");
+      }
+    } catch (const std::exception& e) {
+      ++result.failed;
+      result.log_lines.push_back(client + " error: " + e.what());
+    }
+  }
+}
+
+}  // namespace
+
+std::string BenchReport::render() const {
+  const std::span<const double> samples(submit_to_terminal_ms);
+  const double wall = wall_seconds > 0.0 ? wall_seconds : 1e-9;
+  util::Table table({"metric", "value"});
+  table.add_row({"jobs submitted", std::to_string(submitted)});
+  table.add_row({"jobs done", std::to_string(done)});
+  table.add_row({"jobs failed", std::to_string(failed)});
+  table.add_row({"records streamed", std::to_string(records_streamed)});
+  table.add_separator();
+  table.add_row({"wall time (s)", util::fmt_fixed(wall_seconds, 2)});
+  table.add_row({"throughput (records/s)",
+                 util::fmt_fixed(static_cast<double>(records_streamed) / wall,
+                                 1)});
+  table.add_row({"throughput (jobs/s)",
+                 util::fmt_fixed(static_cast<double>(done) / wall, 2)});
+  table.add_separator();
+  table.add_row(
+      {"submit->terminal p50 (ms)",
+       util::fmt_fixed(util::percentile(samples, 0.50), 1)});
+  table.add_row(
+      {"submit->terminal p95 (ms)",
+       util::fmt_fixed(util::percentile(samples, 0.95), 1)});
+  table.add_row(
+      {"submit->terminal p99 (ms)",
+       util::fmt_fixed(util::percentile(samples, 0.99), 1)});
+  table.add_row(
+      {"submit->terminal max (ms)",
+       util::fmt_fixed(samples.empty()
+                           ? 0.0
+                           : *std::max_element(samples.begin(), samples.end()),
+                       1)});
+  std::string out = table.to_string();
+  if (!samples.empty()) {
+    const double hi = *std::max_element(samples.begin(), samples.end());
+    util::Histogram hist(0.0, hi > 0.0 ? hi : 1.0, 20);
+    hist.add_all(samples);
+    out += "\nsubmit->terminal latency (ms)\n" + hist.render();
+  }
+  return out;
+}
+
+BenchReport run_bench(const BenchOptions& options) {
+  std::vector<WorkerResult> results(std::max<std::size_t>(options.clients, 1));
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(results.size());
+    const std::size_t stride = results.size();
+    for (std::size_t w = 0; w < results.size(); ++w) {
+      workers.emplace_back([&options, w, stride, &results] {
+        run_worker(options, w, stride, results[w]);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+
+  BenchReport report;
+  report.wall_seconds = ms_since(start) / 1000.0;
+  for (WorkerResult& r : results) {
+    report.submitted += r.submitted;
+    report.done += r.done;
+    report.failed += r.failed;
+    report.records_streamed += r.records;
+    report.submit_to_terminal_ms.insert(report.submit_to_terminal_ms.end(),
+                                        r.latencies_ms.begin(),
+                                        r.latencies_ms.end());
+    if (options.log) {
+      for (const std::string& line : r.log_lines) {
+        *options.log << "[bench] " << line << "\n";
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace syn::server

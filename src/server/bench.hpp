@@ -1,0 +1,58 @@
+// Load-test harness for the daemon: K client threads hammering one
+// daemon with dataset jobs, measuring submit -> terminal latency and
+// streamed-record throughput. Shared by `synctl bench` and the
+// operability tests (which point it at a stub-backend daemon).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace syn::server {
+
+struct BenchOptions {
+  /// Daemon under test: unix socket path, or host:port when tcp_port>0.
+  std::filesystem::path socket_path;
+  std::string tcp_host;
+  int tcp_port = 0;
+
+  /// Client threads, each with its own connection and fair-share name
+  /// ("bench-0", "bench-1", ...).
+  std::size_t clients = 4;
+  /// Total jobs across all clients, dealt round-robin (client w submits
+  /// jobs w, w+clients, ... sequentially — one in flight per client).
+  std::size_t total_jobs = 16;
+  /// Template spec; out/seed are varied per job (each job writes its own
+  /// directory under out_root so ShardedDiskSink lockfiles never clash).
+  JobSpec spec;
+  std::filesystem::path out_root = "bench_out";
+  /// Per-job narration ("bench-2 job-7 done in 12.3 ms"); null = quiet.
+  std::ostream* log = nullptr;
+};
+
+struct BenchReport {
+  std::size_t submitted = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;  ///< failed/cancelled jobs + client-side errors
+  std::size_t records_streamed = 0;
+  double wall_seconds = 0.0;
+  /// One sample per job that reached a terminal state via its stream.
+  std::vector<double> submit_to_terminal_ms;
+
+  /// Zero failures and every submitted job accounted for.
+  [[nodiscard]] bool ok() const { return failed == 0 && done == submitted; }
+  /// Aligned summary table (latency p50/p95/p99, throughput) plus an
+  /// ASCII latency histogram.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Runs the load test to completion. Client-side failures (connection
+/// refused, protocol errors) count into BenchReport::failed rather than
+/// throwing, so a flaky run still reports.
+BenchReport run_bench(const BenchOptions& options);
+
+}  // namespace syn::server

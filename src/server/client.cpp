@@ -66,9 +66,11 @@ Json ClientConnection::checked_request(const Request& req) {
   }
   if (!ok->boolean()) {
     const Json* error = response.find("error");
-    throw std::runtime_error(error && error->is_string()
-                                 ? error->str()
-                                 : "daemon reported an unknown error");
+    const Json* code = response.find("code");
+    throw DaemonError(error && error->is_string()
+                          ? error->str()
+                          : "daemon reported an unknown error",
+                      code && code->is_string() ? code->str() : "");
   }
   return response;
 }
@@ -102,6 +104,12 @@ Json ClientConnection::cancel(const std::string& id) {
   return checked_request(req);
 }
 
+Json ClientConnection::metrics() {
+  Request req;
+  req.cmd = Request::Cmd::kMetrics;
+  return checked_request(req).at("metrics");
+}
+
 void ClientConnection::shutdown(bool drain) {
   Request req;
   req.cmd = Request::Cmd::kShutdown;
@@ -111,10 +119,11 @@ void ClientConnection::shutdown(bool drain) {
 
 std::string ClientConnection::stream(
     const std::string& id,
-    const std::function<void(const Json&)>& on_event) {
+    const std::function<void(const Json&)>& on_event, StreamFilter filter) {
   Request req;
   req.cmd = Request::Cmd::kStream;
   req.id = id;
+  req.filter = filter;
   checked_request(req);  // the streaming acknowledgement
   while (const auto line = recv_line()) {
     if (line->empty()) continue;

@@ -6,12 +6,22 @@
 #include <filesystem>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "server/protocol.hpp"
 #include "util/json.hpp"
 
 namespace syn::server {
+
+/// An {"ok":false} daemon reply, carrying the machine-readable error
+/// code when the daemon stamped one ("quota_exceeded", "expired", ...;
+/// empty for generic errors). what() is the daemon's error message.
+struct DaemonError : std::runtime_error {
+  DaemonError(const std::string& message, std::string error_code)
+      : std::runtime_error(message), code(std::move(error_code)) {}
+  std::string code;
+};
 
 class ClientConnection {
  public:
@@ -34,23 +44,26 @@ class ClientConnection {
   /// EOF and util::JsonError on an unparsable reply.
   util::Json request(const Request& req);
 
-  /// submit + unwrap: returns the job id, throws std::runtime_error
-  /// carrying the daemon's error message on {"ok":false}.
+  /// submit + unwrap: returns the job id, throws DaemonError carrying
+  /// the daemon's error message (and code, if any) on {"ok":false}.
   std::string submit(const JobSpec& spec, const std::string& client = "");
   util::Json status(const std::string& id);
   util::Json list();
   util::Json cancel(const std::string& id);
+  /// The METRICS payload (the "metrics" object of the response).
+  util::Json metrics();
   void shutdown(bool drain);
 
   /// STREAM: replays + follows job events, invoking on_event per line
   /// until the terminal "end" event (which is also passed to on_event).
   /// Returns the end event's "state". Throws on EOF mid-stream.
   std::string stream(const std::string& id,
-                     const std::function<void(const util::Json&)>& on_event);
+                     const std::function<void(const util::Json&)>& on_event,
+                     StreamFilter filter = StreamFilter::kAll);
 
  private:
   explicit ClientConnection(int fd) : fd_(fd) {}
-  /// Throws std::runtime_error(message from daemon) on {"ok":false}.
+  /// Throws DaemonError(message, code from daemon) on {"ok":false}.
   util::Json checked_request(const Request& req);
 
   int fd_ = -1;

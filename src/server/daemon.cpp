@@ -4,10 +4,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <exception>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "rtl/generators.hpp"
@@ -15,10 +18,55 @@
 #include "server/stream_sink.hpp"
 #include "service/dataset_sink.hpp"
 #include "service/generation_service.hpp"
+#include "synth/synthesizer.hpp"
 
 namespace syn::server {
 
 using util::Json;
+
+namespace {
+
+/// Bytes of regular files under `dir`, recursively; 0 for a missing or
+/// unreadable dir (an unreadable dir should not block submissions).
+std::uintmax_t directory_bytes(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::uintmax_t total = 0;
+  const std::filesystem::recursive_directory_iterator end;
+  while (it != end) {
+    std::error_code entry_ec;
+    if (it->is_regular_file(entry_ec) && !entry_ec) {
+      const std::uintmax_t size = it->file_size(entry_ec);
+      if (!entry_ec) total += size;
+    }
+    it.increment(ec);
+    if (ec) break;
+  }
+  return total;
+}
+
+/// Does one event-log line pass a STREAM filter? Event lines are
+/// util::Json dumps with insertion-ordered keys, so "event" is always the
+/// first field — a prefix check classifies without parsing. The terminal
+/// "end" event always passes (subscribers need it to stop following);
+/// "summary" rides only with kAll.
+bool stream_event_passes(const std::string& line, StreamFilter filter) {
+  if (filter == StreamFilter::kAll) return true;
+  const auto is_kind = [&](const char* kind) {
+    return line.rfind(std::string("{\"event\":\"") + kind + "\"", 0) == 0;
+  };
+  if (is_kind("end")) return true;
+  return filter == StreamFilter::kRecords ? is_kind("record")
+                                          : is_kind("checkpoint");
+}
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
 
 core::BackendConfig default_backend_config() {
   core::BackendConfig config;
@@ -91,6 +139,11 @@ bool Daemon::EventLog::closed() const {
   return closed_;
 }
 
+std::size_t Daemon::EventLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
 std::optional<std::pair<std::size_t, std::string>> Daemon::EventLog::wait_from(
     std::size_t seq) const {
   std::unique_lock<std::mutex> lock(mutex_);
@@ -113,8 +166,51 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
       return make_default_backend(name, log);
     };
   }
+  // Latency tracks re-bounded from the default geometry: dispatch waits
+  // are short (10 ms resolution), job durations are long.
+  registry_.declare_track("dispatch_ms", 0.0, 5'000.0, 500);
+  registry_.declare_track("job_ms", 0.0, 300'000.0, 600);
+  registry_.declare_track("group_commit_ms", 0.0, 30'000.0, 300);
+  registry_.register_gauge("connections", [this] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::int64_t>(connections_.size());
+  });
+  registry_.register_gauge("event_logs", [this] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::int64_t>(logs_.size());
+  });
+  registry_.register_gauge("event_log_lines", [this] {
+    std::vector<std::shared_ptr<EventLog>> logs;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      logs.reserve(logs_.size());
+      for (const auto& [id, log] : logs_) logs.push_back(log);
+    }
+    std::int64_t total = 0;
+    for (const auto& log : logs) total += static_cast<std::int64_t>(log->size());
+    return total;
+  });
+  registry_.register_gauge("tracked_specs", [this] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::int64_t>(specs_.size());
+  });
+  registry_.register_gauge("terminal_retained", [this] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::int64_t total = 0;
+    for (const auto& [client, history] : terminal_history_) {
+      total += static_cast<std::int64_t>(history.size());
+    }
+    return total;
+  });
+  registry_.register_gauge("expired_ring", [this] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::int64_t>(expired_order_.size());
+  });
+
   JobScheduler::Options scheduler_options;
   scheduler_options.max_concurrent = config_.max_concurrent;
+  scheduler_options.quotas = config_.quotas;
+  scheduler_options.metrics = &registry_;
   // Terminal stream events are driven by the scheduler, not the job
   // body: the callback fires only after the terminal state is visible to
   // STATUS, so a client that reacts to the "end" event never reads a
@@ -124,6 +220,9 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
     end_event_log(info.id, info.state, info.error);
     log_line(info.id + " " + to_string(info.state) +
              (info.error.empty() ? "" : ": " + info.error));
+    // After the terminal event is published: record the job in the
+    // retention history and evict whatever fell out of the window.
+    note_terminal(info);
   };
   scheduler_ = std::make_unique<JobScheduler>(scheduler_options);
 }
@@ -287,6 +386,7 @@ bool Daemon::handle_request(const Request& request,
   const auto respond = [&](const Json& json) {
     return io::write_all(fd, json.dump() + "\n");
   };
+  registry_.inc("requests");
 
   switch (request.cmd) {
     case Request::Cmd::kPing: {
@@ -299,15 +399,41 @@ bool Daemon::handle_request(const Request& request,
       const std::string client =
           request.client.empty() ? conn_client : request.client;
       const JobSpec spec = request.spec;
+      // Daemon-level admission checks (spec size, disk budget) come
+      // first; queue quotas are enforced atomically inside the scheduler.
+      if (config_.max_designs_per_job > 0 &&
+          spec.count > config_.max_designs_per_job) {
+        registry_.inc("submit_rejected");
+        return respond(error_response(
+            "spec.count " + std::to_string(spec.count) +
+                " exceeds the per-job design limit (" +
+                std::to_string(config_.max_designs_per_job) + ")",
+            kErrorCodeQuota));
+      }
+      if (config_.max_out_bytes > 0) {
+        const std::uintmax_t used = directory_bytes(spec.out);
+        if (used >= config_.max_out_bytes) {
+          registry_.inc("submit_rejected");
+          return respond(error_response(
+              "output dir " + spec.out.generic_string() + " already holds " +
+                  std::to_string(used) + " bytes (budget " +
+                  std::to_string(config_.max_out_bytes) + ")",
+              kErrorCodeQuota));
+        }
+      }
       std::string id;
       try {
         id = scheduler_->submit(client, [this, spec](
                                             const JobScheduler::Handle& h) {
           run_generation_job(spec, h);
         });
+      } catch (const QuotaError& e) {
+        registry_.inc("submit_rejected");
+        return respond(error_response(e.what(), kErrorCodeQuota));
       } catch (const std::exception& e) {
         return respond(error_response(e.what()));
       }
+      registry_.inc("submit_accepted");
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         specs_.emplace(id, spec);
@@ -327,7 +453,7 @@ bool Daemon::handle_request(const Request& request,
         json.set("job", job_json(scheduler_->info(request.id)));
         return respond(json);
       } catch (const std::out_of_range&) {
-        return respond(error_response("unknown job \"" + request.id + "\""));
+        return respond(job_gone_response(request.id));
       }
     }
 
@@ -347,7 +473,7 @@ bool Daemon::handle_request(const Request& request,
       try {
         info = scheduler_->info(request.id);
       } catch (const std::out_of_range&) {
-        return respond(error_response("unknown job \"" + request.id + "\""));
+        return respond(job_gone_response(request.id));
       }
       log_line(request.id + " cancel requested (now " +
                to_string(info.state) + ")");
@@ -362,21 +488,37 @@ bool Daemon::handle_request(const Request& request,
       try {
         (void)scheduler_->info(request.id);
       } catch (const std::out_of_range&) {
-        return respond(error_response("unknown job \"" + request.id + "\""));
+        return respond(job_gone_response(request.id));
       }
+      // The log must be fetched through the expired-check: creating a
+      // fresh (never-closed) log for a job GC evicted between the info()
+      // above and here would leave this subscriber blocked forever.
+      const std::shared_ptr<EventLog> log =
+          event_log_unless_expired(request.id);
+      if (!log) return respond(job_gone_response(request.id));
       Json ack = ok_response();
       ack.set("id", request.id);
       ack.set("streaming", true);
+      ack.set("filter", to_string(request.filter));
       if (!respond(ack)) return false;
-      const std::shared_ptr<EventLog> log = event_log(request.id);
       // Replay the retained window, then follow the live tail until the
       // job's terminal "end" event closes the log.
       std::size_t seq = 0;
       while (const auto line = log->wait_from(seq)) {
-        if (!io::write_all(fd, line->second + "\n")) return false;
         seq = line->first + 1;
+        if (!stream_event_passes(line->second, request.filter)) continue;
+        if (!io::write_all(fd, line->second + "\n")) return false;
       }
       return true;  // connection stays usable for further commands
+    }
+
+    case Request::Cmd::kMetrics: {
+      // TTL-based eviction piggybacks on metrics polls, so an idle daemon
+      // with a gc_ttl still sheds old terminal jobs while being scraped.
+      gc_terminal_jobs();
+      Json json = ok_response();
+      json.set("metrics", metrics_json());
+      return respond(json);
     }
 
     case Request::Cmd::kShutdown: {
@@ -395,6 +537,117 @@ std::shared_ptr<Daemon::EventLog> Daemon::event_log(const std::string& id) {
   std::shared_ptr<EventLog>& slot = logs_[id];
   if (!slot) slot = std::make_shared<EventLog>();
   return slot;
+}
+
+std::shared_ptr<Daemon::EventLog> Daemon::event_log_unless_expired(
+    const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (expired_.count(id) != 0) return nullptr;
+  std::shared_ptr<EventLog>& slot = logs_[id];
+  if (!slot) slot = std::make_shared<EventLog>();
+  return slot;
+}
+
+Json Daemon::job_gone_response(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (expired_.count(id) != 0) {
+    return error_response("job \"" + id + "\" expired (evicted by GC)",
+                          kErrorCodeExpired);
+  }
+  return error_response("unknown job \"" + id + "\"", kErrorCodeUnknownJob);
+}
+
+void Daemon::note_terminal(const JobScheduler::Info& info) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    terminal_history_[info.client].push_back(
+        {info.id, std::chrono::steady_clock::now()});
+  }
+  gc_terminal_jobs();
+}
+
+void Daemon::gc_terminal_jobs() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::string> evicted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = terminal_history_.begin();
+         it != terminal_history_.end();) {
+      std::deque<TerminalRecord>& history = it->second;
+      const auto past_ttl = [&](const TerminalRecord& rec) {
+        return config_.gc_ttl.count() > 0 && now - rec.at >= config_.gc_ttl;
+      };
+      while (!history.empty() && (history.size() > config_.gc_retain ||
+                                  past_ttl(history.front()))) {
+        evicted.push_back(std::move(history.front().id));
+        history.pop_front();
+      }
+      it = history.empty() ? terminal_history_.erase(it) : std::next(it);
+    }
+    // Mark expired BEFORE the scheduler forgets the id (below, unlocked):
+    // a racing STATUS sees either valid scheduler info (with the spec
+    // fields merely omitted) or the typed "expired" answer — never a
+    // bare "unknown job" for an id that did exist.
+    for (const std::string& id : evicted) {
+      specs_.erase(id);
+      logs_.erase(id);  // already closed: the job was terminal
+      if (expired_.insert(id).second) expired_order_.push_back(id);
+    }
+    while (expired_order_.size() > kExpiredRetention) {
+      expired_.erase(expired_order_.front());
+      expired_order_.pop_front();
+    }
+  }
+  for (const std::string& id : evicted) scheduler_->erase_terminal(id);
+  if (!evicted.empty()) {
+    registry_.inc("jobs_expired", evicted.size());
+    log_line("gc evicted " + std::to_string(evicted.size()) +
+             " terminal job(s)");
+  }
+}
+
+Json Daemon::metrics_json() {
+  // snapshot() pulls the registered gauges, which take mutex_ — so this
+  // must run with no daemon lock held (the registry never holds its own
+  // lock across the calls either; it is a strict leaf).
+  Json metrics = registry_.snapshot();
+
+  const JobScheduler::Counts counts = scheduler_->counts();
+  Json jobs;
+  jobs.set("submitted", counts.submitted);
+  jobs.set("rejected", counts.rejected);
+  jobs.set("queued", counts.queued);
+  jobs.set("running", counts.running);
+  jobs.set("done", counts.done);
+  jobs.set("failed", counts.failed);
+  jobs.set("cancelled", counts.cancelled);
+  jobs.set("expired", registry_.counter("jobs_expired"));
+  jobs.set("tracked",
+           static_cast<std::uint64_t>(scheduler_->tracked_jobs()));
+  metrics.set("jobs", std::move(jobs));
+
+  Json clients;
+  for (const auto& [client, load] : scheduler_->client_loads()) {
+    Json entry;
+    entry.set("queued", static_cast<std::uint64_t>(load.queued));
+    entry.set("active", static_cast<std::uint64_t>(load.active));
+    clients.set(client, std::move(entry));
+  }
+  metrics.set("clients", std::move(clients));
+
+  const synth::SynthCacheStats cache = synth::synthesis_cache_stats();
+  Json synth_cache;
+  synth_cache.set("hits", cache.hits);
+  synth_cache.set("misses", cache.misses);
+  synth_cache.set("entries", static_cast<std::uint64_t>(cache.entries));
+  synth_cache.set("capacity", static_cast<std::uint64_t>(cache.capacity));
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  synth_cache.set("hit_rate", lookups == 0
+                                  ? 0.0
+                                  : static_cast<double>(cache.hits) /
+                                        static_cast<double>(lookups));
+  metrics.set("synth_cache", std::move(synth_cache));
+  return metrics;
 }
 
 void Daemon::end_event_log(const std::string& id, JobState state,
@@ -455,14 +708,30 @@ void Daemon::run_generation_job(const JobSpec& spec,
         {.job_id = handle.id(),
          .shard_size = spec.shard_size,
          .with_synth_stats = spec.synth_stats},
-        [log](std::string line) { log->append(std::move(line)); });
+        [this, log](std::string line) {
+          registry_.inc("stream_events");
+          if (line.rfind("{\"event\":\"record\"", 0) == 0) {
+            registry_.inc("records_streamed");
+          }
+          log->append(std::move(line));
+        });
     service::TeeSink tee(disk);
     tee.add(stream);
 
+    auto last_commit = std::chrono::steady_clock::now();
     service::GenerationService svc(
         *backend.model,
         {.batch = {.batch = spec.batch, .threads = spec.threads},
-         .queue_capacity = spec.queue});
+         .queue_capacity = spec.queue,
+         // Consumer-thread hook: group-commit cadence + designs durably
+         // checkpointed (the "written and committed" count, vs
+         // records_streamed which counts emitted events).
+         .on_group_committed = [this, &last_commit](std::size_t designs) {
+           const auto now = std::chrono::steady_clock::now();
+           registry_.observe("group_commit_ms", ms_between(last_commit, now));
+           last_commit = now;
+           registry_.inc("designs_committed", designs);
+         }});
     const std::size_t resumed = std::min(disk.resume_index(), spec.count);
     handle.set_progress([&svc, resumed] {
       return JobProgress{resumed + svc.designs_written(),

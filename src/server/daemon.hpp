@@ -21,8 +21,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <filesystem>
 #include <functional>
@@ -31,6 +33,7 @@
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -38,6 +41,7 @@
 
 #include "core/generator.hpp"
 #include "core/registry.hpp"
+#include "server/metrics.hpp"
 #include "server/protocol.hpp"
 #include "server/scheduler.hpp"
 #include "util/json.hpp"
@@ -92,6 +96,27 @@ struct DaemonConfig {
   /// Backend construction hook; null = make_default_backend. Tests
   /// inject cheap stub models here.
   BackendFactory factory;
+
+  // ---- Admission control (all 0 = unlimited) -------------------------
+  /// Per-client / global queue quotas, enforced inside the scheduler.
+  JobScheduler::Quotas quotas;
+  /// Max designs one SUBMIT may request.
+  std::size_t max_designs_per_job = 0;
+  /// Disk budget per output dir: a SUBMIT whose spec.out already holds
+  /// at least this many bytes is rejected (coarse, checked once at
+  /// admission — a resident daemon's main disk hazard is a client
+  /// resubmitting into a dir that keeps growing).
+  std::uintmax_t max_out_bytes = 0;
+
+  // ---- Terminal-job GC ----------------------------------------------
+  /// Terminal jobs retained per client; beyond this the oldest are
+  /// evicted (scheduler entry, spec, and event log together) and STATUS
+  /// answers "expired". 0 = evict immediately at terminal.
+  std::size_t gc_retain = 64;
+  /// Terminal jobs older than this are evicted even within the
+  /// per-client retention window (0 = no TTL). Swept on every terminal
+  /// event and every METRICS request.
+  std::chrono::milliseconds gc_ttl{0};
 };
 
 class Daemon {
@@ -118,6 +143,7 @@ class Daemon {
 
   [[nodiscard]] const DaemonConfig& config() const { return config_; }
   [[nodiscard]] JobScheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return registry_; }
 
  private:
   /// Replayable per-job event feed. STREAM subscribers read from
@@ -141,6 +167,8 @@ class Daemon {
     /// teardown) and exactly one terminal event must win.
     void close_with(std::string line);
     [[nodiscard]] bool closed() const;
+    /// Currently retained lines (the METRICS event-log-occupancy gauge).
+    [[nodiscard]] std::size_t size() const;
     /// First retained line with sequence >= seq, blocking while the log
     /// is open with nothing that new yet; nullopt once closed and
     /// drained. Returns the line's actual sequence so callers resume at
@@ -167,12 +195,30 @@ class Daemon {
   void run_generation_job(const JobSpec& spec,
                           const JobScheduler::Handle& handle);
   std::shared_ptr<EventLog> event_log(const std::string& id);
+  /// Get-or-create, unless the job has been GC-evicted (then nullptr —
+  /// creating a fresh, never-closed log for an expired job would leave
+  /// its subscriber blocked forever).
+  std::shared_ptr<EventLog> event_log_unless_expired(const std::string& id);
   /// Terminal event + close; no-op if the log is already closed.
   void end_event_log(const std::string& id, JobState state,
                      const std::string& error);
   FittedBackend fitted_backend(const std::string& name);
   [[nodiscard]] util::Json job_json(const JobScheduler::Info& info) const;
   void log_line(const std::string& line);
+
+  /// The METRICS payload: registry snapshot + one-lock scheduler counts
+  /// + per-client loads + synth-cache hit rate.
+  [[nodiscard]] util::Json metrics_json();
+  /// "expired" vs "unknown job" error for an id the scheduler no longer
+  /// knows.
+  [[nodiscard]] util::Json job_gone_response(const std::string& id);
+  /// Records a freshly terminal job in the retention history, then
+  /// evicts whatever the retention/TTL rules no longer cover.
+  void note_terminal(const JobScheduler::Info& info);
+  /// Applies the per-client retention count + TTL, evicting scheduler
+  /// entry, spec and event log together. Evicted ids land in the
+  /// expired ring so STATUS/STREAM/CANCEL answer "expired".
+  void gc_terminal_jobs();
 
   DaemonConfig config_;
 
@@ -193,6 +239,26 @@ class Daemon {
   };
   std::map<std::string, std::shared_ptr<BackendEntry>> backends_;
   std::condition_variable backend_ready_;
+
+  // ---- Terminal-job GC state (guarded by mutex_) ---------------------
+  struct TerminalRecord {
+    std::string id;
+    std::chrono::steady_clock::time_point at;
+  };
+  /// Terminal jobs per client, oldest first; trimmed by gc_retain/gc_ttl.
+  std::map<std::string, std::deque<TerminalRecord>> terminal_history_;
+  /// Ids evicted by GC, so STATUS/STREAM/CANCEL answer "expired" instead
+  /// of "unknown job". Itself a bounded ring (kExpiredRetention) — after
+  /// enough churn the very oldest evictions degrade to "unknown job",
+  /// which is still a correct (if less precise) answer.
+  static constexpr std::size_t kExpiredRetention = 4096;
+  std::set<std::string> expired_;
+  std::deque<std::string> expired_order_;
+
+  /// Declared before scheduler_: the scheduler (and job bodies it joins
+  /// at destruction) observe latencies into this registry, so it must be
+  /// destroyed after them.
+  MetricsRegistry registry_;
 
   /// One-shot teardown executed by serve() (or the destructor if serve
   /// never ran). Joins every thread; idempotent.

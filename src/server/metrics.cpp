@@ -1,0 +1,141 @@
+#include "server/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace syn::server {
+
+using util::Json;
+
+void MetricsRegistry::inc(const std::string& name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::register_gauge(const std::string& name,
+                                     std::function<std::int64_t()> provider) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauge_providers_[name] = std::move(provider);
+}
+
+void MetricsRegistry::declare_track(const std::string& name, double lo_ms,
+                                    double hi_ms, std::size_t bins) {
+  Track track;
+  track.hist = util::Histogram(lo_ms, hi_ms, bins);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tracks_.insert_or_assign(name, std::move(track));
+}
+
+void MetricsRegistry::observe(const std::string& name, double ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Track& track = tracks_[name];
+  track.hist.add(ms);
+  track.min = track.count == 0 ? ms : std::min(track.min, ms);
+  track.max = track.count == 0 ? ms : std::max(track.max, ms);
+  track.sum += ms;
+  ++track.count;
+}
+
+Json MetricsRegistry::snapshot() const {
+  // Pull gauges first, outside the registry lock (the leaf-lock rule):
+  // providers may take their owner's mutex, and that owner may be inside
+  // inc()/observe() on another thread right now.
+  std::vector<std::pair<std::string, std::function<std::int64_t()>>> providers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    providers.assign(gauge_providers_.begin(), gauge_providers_.end());
+  }
+  std::vector<std::pair<std::string, std::int64_t>> pulled;
+  pulled.reserve(providers.size());
+  for (const auto& [name, provider] : providers) {
+    pulled.emplace_back(name, provider());
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json(util::JsonObject{});
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  Json gauges = Json(util::JsonObject{});
+  {
+    // Merge set-gauges and pulled gauges, sorted by name (pulled wins on
+    // a name collision — it is fresher by construction).
+    std::map<std::string, std::int64_t> merged(gauges_.begin(), gauges_.end());
+    for (const auto& [name, value] : pulled) merged[name] = value;
+    for (const auto& [name, value] : merged) gauges.set(name, value);
+  }
+  Json latency = Json(util::JsonObject{});
+  for (const auto& [name, track] : tracks_) {
+    // A binned quantile is only accurate to the bin width; clamping into
+    // the observed [min, max] keeps e.g. p50 of three sub-millisecond
+    // samples from reading as half a (wide) first bin.
+    const auto quantile = [&track](double q) {
+      return track.count == 0
+                 ? 0.0
+                 : std::clamp(util::histogram_quantile(track.hist, q),
+                              track.min, track.max);
+    };
+    Json t;
+    t.set("count", static_cast<std::uint64_t>(track.count));
+    t.set("mean", track.count ? track.sum / static_cast<double>(track.count)
+                              : 0.0);
+    t.set("min", track.min);
+    t.set("max", track.max);
+    t.set("p50", quantile(0.50));
+    t.set("p95", quantile(0.95));
+    t.set("p99", quantile(0.99));
+    latency.set(name, std::move(t));
+  }
+  Json json;
+  json.set("counters", std::move(counters));
+  json.set("gauges", std::move(gauges));
+  json.set("latency", std::move(latency));
+  return json;
+}
+
+namespace {
+
+void append_metric_line(std::string& out, const std::string& name,
+                        const Json& value) {
+  if (!value.is_number()) return;  // strings/bools are not scrapeable
+  out += "syn_" + name + " " + value.dump() + "\n";
+}
+
+}  // namespace
+
+std::string render_metrics_text(const Json& snapshot) {
+  std::string out;
+  if (!snapshot.is_object()) return out;
+  for (const auto& [section, body] : snapshot.object()) {
+    if (body.is_number()) {
+      append_metric_line(out, section, body);
+      continue;
+    }
+    if (!body.is_object()) continue;
+    for (const auto& [name, value] : body.object()) {
+      if (value.is_object()) {
+        // One more level: latency tracks ({name:{p50:...}}) and
+        // per-client sections flatten to section_name_field.
+        for (const auto& [field, leaf] : value.object()) {
+          append_metric_line(out, section + "_" + name + "_" + field, leaf);
+        }
+      } else {
+        append_metric_line(out, section + "_" + name, value);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace syn::server

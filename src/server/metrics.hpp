@@ -1,0 +1,101 @@
+// MetricsRegistry: the daemon's observability surface.
+//
+// Three metric kinds, all name-keyed:
+//   * counters  — monotonic uint64 (jobs submitted, records streamed,
+//                 synth-cache hits...). inc() only; they never go down.
+//   * gauges    — instantaneous int64, either set explicitly or read on
+//                 demand from a registered callback (event-log occupancy,
+//                 tracked specs, live connections).
+//   * latency   — util::Histogram-backed tracks (scheduler dispatch
+//                 latency, job duration, sink group-commit time).
+//                 observe() records one sample; snapshots report
+//                 count/mean/min/max plus histogram-interpolated
+//                 p50/p95/p99.
+//
+// snapshot() renders everything as one util::Json object (the METRICS
+// protocol verb's payload); render_metrics_text() flattens such a
+// snapshot into "syn_<section>_<name> <value>" lines a scraper can poll
+// and `synctl metrics` prints.
+//
+// Locking: the registry's own mutex is a leaf — the registry NEVER calls
+// foreign code (gauge callbacks included) while holding it, so callers
+// may inc()/observe() from inside their own critical sections without
+// risking lock-order cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace syn::server {
+
+class MetricsRegistry {
+ public:
+  /// Default latency-track geometry: 0..30s in 300 linear bins (100 ms
+  /// resolution) — wide enough for dataset jobs, fine enough for
+  /// dispatch latencies once a track is re-bounded via track().
+  static constexpr double kDefaultTrackLoMs = 0.0;
+  static constexpr double kDefaultTrackHiMs = 30'000.0;
+  static constexpr std::size_t kDefaultTrackBins = 300;
+
+  /// Bumps a monotonic counter (created at 0 on first use).
+  void inc(const std::string& name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  /// Sets an instantaneous gauge value.
+  void set_gauge(const std::string& name, std::int64_t value);
+  /// Registers a pull gauge, read at snapshot time. The callback runs
+  /// WITHOUT the registry lock held (it may take its owner's locks); it
+  /// must stay valid for the registry's lifetime. Re-registering a name
+  /// replaces the callback.
+  void register_gauge(const std::string& name,
+                      std::function<std::int64_t()> provider);
+
+  /// Declares a latency track with explicit bounds (milliseconds).
+  /// Calling observe() on an undeclared name creates the track with the
+  /// default geometry above.
+  void declare_track(const std::string& name, double lo_ms, double hi_ms,
+                     std::size_t bins);
+  /// Records one latency sample (milliseconds).
+  void observe(const std::string& name, double ms);
+
+  /// {"counters":{...},"gauges":{...},"latency":{name:{count,mean,min,
+  /// max,p50,p95,p99}}} — keys sorted, so two snapshots of identical
+  /// state dump byte-identically.
+  [[nodiscard]] util::Json snapshot() const;
+
+ private:
+  struct Track {
+    util::Histogram hist{kDefaultTrackLoMs, kDefaultTrackHiMs,
+                         kDefaultTrackBins};
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, std::function<std::int64_t()>> gauge_providers_;
+  std::map<std::string, Track> tracks_;
+};
+
+/// Flattens a METRICS snapshot (the registry's shape above, possibly
+/// extended with extra sections whose values are numbers or one level of
+/// nested objects) into scrape-friendly text:
+///
+///   syn_counters_jobs_submitted 42
+///   syn_latency_dispatch_ms_p95 12.5
+///
+/// One "name value" pair per line, lines in snapshot order.
+[[nodiscard]] std::string render_metrics_text(const util::Json& snapshot);
+
+}  // namespace syn::server

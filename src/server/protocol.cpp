@@ -69,6 +69,26 @@ JobSpec job_spec_from_json(const Json& json) {
   return spec;
 }
 
+const char* to_string(StreamFilter filter) {
+  switch (filter) {
+    case StreamFilter::kAll:
+      return "all";
+    case StreamFilter::kRecords:
+      return "records";
+    case StreamFilter::kCheckpoints:
+      return "checkpoints";
+  }
+  return "all";
+}
+
+StreamFilter stream_filter_from_string(const std::string& name) {
+  if (name == "all") return StreamFilter::kAll;
+  if (name == "records") return StreamFilter::kRecords;
+  if (name == "checkpoints") return StreamFilter::kCheckpoints;
+  throw ProtocolError("unknown stream filter \"" + name +
+                      "\" (want all|records|checkpoints)");
+}
+
 std::string to_string(Request::Cmd cmd) {
   switch (cmd) {
     case Request::Cmd::kSubmit:
@@ -81,6 +101,8 @@ std::string to_string(Request::Cmd cmd) {
       return "cancel";
     case Request::Cmd::kStream:
       return "stream";
+    case Request::Cmd::kMetrics:
+      return "metrics";
     case Request::Cmd::kPing:
       return "ping";
     case Request::Cmd::kShutdown:
@@ -99,13 +121,19 @@ std::string encode(const Request& request) {
       break;
     case Request::Cmd::kStatus:
     case Request::Cmd::kCancel:
+      json.set("id", request.id);
+      break;
     case Request::Cmd::kStream:
       json.set("id", request.id);
+      if (request.filter != StreamFilter::kAll) {
+        json.set("filter", to_string(request.filter));
+      }
       break;
     case Request::Cmd::kShutdown:
       json.set("drain", request.drain);
       break;
     case Request::Cmd::kList:
+    case Request::Cmd::kMetrics:
     case Request::Cmd::kPing:
       break;
   }
@@ -139,8 +167,16 @@ Request parse_request(const std::string& line) {
     request.id =
         protocol_field("request", [&] { return json.at("id").str(); });
     if (request.id.empty()) throw ProtocolError("id must not be empty");
+    if (request.cmd == Request::Cmd::kStream) {
+      if (const Json* filter = json.find("filter")) {
+        request.filter = stream_filter_from_string(
+            protocol_field("filter", [&] { return filter->str(); }));
+      }
+    }
   } else if (cmd == "list") {
     request.cmd = Request::Cmd::kList;
+  } else if (cmd == "metrics") {
+    request.cmd = Request::Cmd::kMetrics;
   } else if (cmd == "ping") {
     request.cmd = Request::Cmd::kPing;
   } else if (cmd == "shutdown") {
@@ -165,6 +201,12 @@ Json error_response(const std::string& message) {
   Json json;
   json.set("ok", false);
   json.set("error", message);
+  return json;
+}
+
+Json error_response(const std::string& message, const std::string& code) {
+  Json json = error_response(message);
+  json.set("code", code);
   return json;
 }
 

@@ -10,14 +10,18 @@
 //             | {"cmd":"status","id":ID}
 //             | {"cmd":"list"}
 //             | {"cmd":"cancel","id":ID}
-//             | {"cmd":"stream","id":ID}
+//             | {"cmd":"stream","id":ID,"filter":FILTER?}
+//             | {"cmd":"metrics"}
 //             | {"cmd":"ping"}
 //             | {"cmd":"shutdown","drain":BOOL?}
+//   FILTER   := "all" | "records" | "checkpoints"     (default "all")
 //   SPEC     := {"count":N,"seed":S,"backend":B?,"out":DIR?,"batch":K?,
 //                "threads":T?,"shard_size":N?,"queue":N?,"fresh":BOOL?,
 //                "synth_stats":BOOL?}
 //   response := {"ok":true, ...}          (request-specific payload)
-//             | {"ok":false,"error":MSG}
+//             | {"ok":false,"error":MSG,"code":CODE?}
+//   CODE     := "quota_exceeded" | "expired" | ...   (machine-readable
+//              error class; absent for generic errors)
 //   event    := {"event":"record","id":ID,"index":I,...manifest fields}
 //             | {"event":"summary","id":ID,...run summary}
 //             | {"event":"end","id":ID,"state":STATE,"error":MSG?}
@@ -67,9 +71,18 @@ struct JobSpec {
 util::Json to_json(const JobSpec& spec);
 JobSpec job_spec_from_json(const util::Json& json);
 
+/// What a STREAM subscriber wants from the event feed. The terminal
+/// "end" event always passes (the client needs it to stop following);
+/// "summary" rides only with kAll.
+enum class StreamFilter { kAll, kRecords, kCheckpoints };
+
+[[nodiscard]] const char* to_string(StreamFilter filter);
+/// Throws ProtocolError for anything but "all"/"records"/"checkpoints".
+[[nodiscard]] StreamFilter stream_filter_from_string(const std::string& name);
+
 struct Request {
-  enum class Cmd { kSubmit, kStatus, kList, kCancel, kStream, kPing,
-                   kShutdown };
+  enum class Cmd { kSubmit, kStatus, kList, kCancel, kStream, kMetrics,
+                   kPing, kShutdown };
 
   Cmd cmd = Cmd::kPing;
   /// Target job id (status / cancel / stream).
@@ -79,6 +92,8 @@ struct Request {
   std::string client;
   /// Submit payload.
   JobSpec spec;
+  /// Stream: which event kinds to deliver.
+  StreamFilter filter = StreamFilter::kAll;
   /// Shutdown: finish queued + running jobs first (true) or cancel them
   /// (false).
   bool drain = true;
@@ -95,8 +110,18 @@ struct Request {
 /// unknown cmd, or a missing required field.
 [[nodiscard]] Request parse_request(const std::string& line);
 
-/// Response helpers — every daemon reply goes through one of these.
+/// Response helpers — every daemon reply goes through one of these. The
+/// two-argument form stamps a machine-readable "code" so clients can
+/// branch on the error class (quota rejection, expired job) instead of
+/// matching message text.
 [[nodiscard]] util::Json ok_response();
 [[nodiscard]] util::Json error_response(const std::string& message);
+[[nodiscard]] util::Json error_response(const std::string& message,
+                                        const std::string& code);
+
+/// Error-class codes the daemon stamps on typed failures.
+inline constexpr const char* kErrorCodeQuota = "quota_exceeded";
+inline constexpr const char* kErrorCodeExpired = "expired";
+inline constexpr const char* kErrorCodeUnknownJob = "unknown_job";
 
 }  // namespace syn::server

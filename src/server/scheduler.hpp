@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -27,12 +28,22 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/thread_pool.hpp"
 
 namespace syn::server {
+
+class MetricsRegistry;
+
+/// Thrown by JobScheduler::submit when an admission quota would be
+/// exceeded. The daemon converts it into an {"ok":false,
+/// "code":"quota_exceeded"} response; the job is never enqueued.
+struct QuotaError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 
@@ -91,11 +102,50 @@ class JobScheduler {
     JobProgress progress;   ///< live snapshot (all zero before running)
   };
 
+  /// Admission-control limits, all enforced atomically inside submit()
+  /// under the scheduler lock (0 = unlimited). A rejected job counts in
+  /// Counts::rejected and is otherwise as if it never existed.
+  struct Quotas {
+    /// Max jobs sitting in one client's queue (running jobs don't count).
+    std::size_t max_queued_per_client = 0;
+    /// Max queued + running jobs per client.
+    std::size_t max_active_per_client = 0;
+    /// Max queued jobs across all clients.
+    std::size_t max_total_queued = 0;
+  };
+
+  /// One atomic snapshot of the scheduler's job accounting, taken under
+  /// a single lock so the identity
+  ///     submitted == done + failed + cancelled + running + queued
+  /// holds EXACTLY in every snapshot (every admitted job is in precisely
+  /// one of those states; rejected jobs were never admitted).
+  struct Counts {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t running = 0;
+    std::uint64_t queued = 0;
+  };
+
+  /// Per-client load, for the METRICS per-client section.
+  struct ClientLoad {
+    std::size_t queued = 0;
+    std::size_t active = 0;  ///< queued + running
+  };
+
   struct Options {
     /// Jobs running at once. Dataset jobs parallelize internally
     /// (generate_batch owns its own pool), so 1–2 is the sweet spot on a
     /// small box.
     std::size_t max_concurrent = 1;
+    /// Admission quotas checked at submit().
+    Quotas quotas;
+    /// Optional observability hook: dispatch latency (submit -> running,
+    /// "dispatch_ms") and job duration (running -> terminal, "job_ms")
+    /// are observed here. Must outlive the scheduler.
+    MetricsRegistry* metrics = nullptr;
     /// Shared execution substrate; null = the scheduler owns a pool of
     /// max_concurrent workers. Job bodies must not submit work to this
     /// same pool (they'd deadlock a fully-busy pool); model-internal
@@ -121,7 +171,8 @@ class JobScheduler {
   JobScheduler& operator=(const JobScheduler&) = delete;
 
   /// Enqueues a job for `client` and returns its id ("job-N"). Throws
-  /// std::runtime_error after shutdown().
+  /// std::runtime_error after shutdown() and QuotaError when an
+  /// admission quota would be exceeded.
   std::string submit(const std::string& client, JobFn fn);
 
   /// Snapshot of one job; throws std::out_of_range for an unknown id.
@@ -144,6 +195,20 @@ class JobScheduler {
 
   [[nodiscard]] std::size_t running_jobs() const;
   [[nodiscard]] std::size_t queued_jobs() const;
+  /// Total jobs the scheduler still tracks (all states, pre-GC).
+  [[nodiscard]] std::size_t tracked_jobs() const;
+
+  /// One-lock snapshot of the job accounting (see Counts).
+  [[nodiscard]] Counts counts() const;
+  /// Queue depth + active jobs per client the scheduler still tracks.
+  [[nodiscard]] std::map<std::string, ClientLoad> client_loads() const;
+
+  /// GC hook: forgets a TERMINAL job entirely (info/list/wait stop
+  /// knowing it). Returns false when the id is unknown or the job is
+  /// still queued/running. When this was the client's last tracked job,
+  /// the client's fair-share bookkeeping is dropped too, keeping
+  /// scheduler state bounded by live work, not daemon lifetime.
+  bool erase_terminal(const std::string& id);
 
  private:
   struct Job {
@@ -154,6 +219,8 @@ class JobScheduler {
     std::string error;
     std::atomic<bool> cancel{false};
     std::function<JobProgress()> progress;
+    std::chrono::steady_clock::time_point submitted_at{};
+    std::chrono::steady_clock::time_point started_at{};
   };
 
   /// Starts queued jobs while slots are free, picking the least-recently-
@@ -163,6 +230,10 @@ class JobScheduler {
   void dispatch_locked();
   void run_job(std::shared_ptr<Job> job);
   [[nodiscard]] Info info_locked(const Job& job) const;
+  /// Moves a job into a terminal state: bumps the matching terminal
+  /// counter and releases the client's active slot. Caller holds mutex_
+  /// and has already removed the job from any pending queue.
+  void settle_locked(Job& job, JobState outcome, std::string error);
 
   Options options_;
   std::unique_ptr<util::ThreadPool> owned_pool_;
@@ -181,6 +252,11 @@ class JobScheduler {
   std::size_t running_ = 0;
   std::size_t sequence_ = 0;
   bool shutdown_ = false;
+  /// Monotonic accounting (running/queued are filled in at snapshot
+  /// time from running_ / queued_total_).
+  Counts counts_;
+  std::size_t queued_total_ = 0;
+  std::map<std::string, std::size_t> active_;  // queued + running, per client
 };
 
 }  // namespace syn::server

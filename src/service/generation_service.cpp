@@ -76,6 +76,7 @@ GenerationStats GenerationService::run(const GenerationJob& job,
 
   // Sink consumer: the only thread that touches the sink during the run.
   std::exception_ptr sink_error;
+  std::size_t last_committed = stats.resumed_at;
   std::thread consumer([&] {
     try {
       while (auto item = queue.pop()) {
@@ -83,7 +84,12 @@ GenerationStats GenerationService::run(const GenerationJob& job,
           sink.write(*record);
           written_.fetch_add(1, std::memory_order_relaxed);
         } else {
-          sink.checkpoint(std::get<Checkpoint>(*item).next);
+          const std::size_t next = std::get<Checkpoint>(*item).next;
+          sink.checkpoint(next);
+          if (config_.on_group_committed) {
+            config_.on_group_committed(next - last_committed);
+          }
+          last_committed = next;
         }
       }
     } catch (...) {

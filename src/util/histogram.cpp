@@ -11,7 +11,7 @@
 namespace syn::util {
 
 namespace {
-double percentile(const std::vector<double>& sorted, double q) {
+double sorted_percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -37,10 +37,32 @@ Summary summarize(std::span<const double> values) {
                  : 0.0;
   s.min = sorted.front();
   s.max = sorted.back();
-  s.p25 = percentile(sorted, 0.25);
-  s.median = percentile(sorted, 0.5);
-  s.p75 = percentile(sorted, 0.75);
+  s.p25 = sorted_percentile(sorted, 0.25);
+  s.median = sorted_percentile(sorted, 0.5);
+  s.p75 = sorted_percentile(sorted, 0.75);
   return s;
+}
+
+double percentile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, std::clamp(q, 0.0, 1.0));
+}
+
+double histogram_quantile(const Histogram& hist, double q) {
+  if (hist.total() == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(hist.total());
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const auto in_bin = static_cast<double>(hist.count(b));
+    if (cumulative + in_bin >= target && in_bin > 0.0) {
+      const double frac = (target - cumulative) / in_bin;
+      return hist.bin_lo(b) + frac * (hist.bin_hi(b) - hist.bin_lo(b));
+    }
+    cumulative += in_bin;
+  }
+  return hist.bin_hi(hist.bins() - 1);
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

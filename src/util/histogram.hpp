@@ -23,6 +23,11 @@ struct Summary {
 
 Summary summarize(std::span<const double> values);
 
+/// Interpolated order-statistic quantile of an unsorted sample (q in
+/// [0,1]); 0 for an empty sample. The bench harness reports p50/p95/p99
+/// of raw latency samples through this.
+double percentile(std::span<const double> values, double q);
+
 /// Fixed-bin histogram over [lo, hi]; values outside are clamped into the
 /// first / last bin so nothing is silently dropped.
 class Histogram {
@@ -46,6 +51,12 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
 };
+
+/// Approximate quantile from binned counts: finds the bin where the
+/// cumulative count crosses q*total and interpolates linearly inside it.
+/// Resolution is the bin width — good enough for latency tracks whose
+/// exact samples are not retained. 0 for an empty histogram.
+double histogram_quantile(const Histogram& hist, double q);
 
 /// Exact 1-Wasserstein distance between two empirical 1-D distributions
 /// (average absolute difference of matched order statistics; the standard

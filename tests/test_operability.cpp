@@ -1,0 +1,833 @@
+// Operability tier: MetricsRegistry, the METRICS protocol verb,
+// admission quotas (typed quota_exceeded rejections, quota release on
+// cancel/complete, two-client isolation), terminal-job GC (bounded
+// scheduler/spec/event-log metadata, typed "expired" answers, TTL
+// sweeps) and the `synctl bench` load-test harness end to end against a
+// stub-backend daemon. Part of the TSan CI tier — the metrics fuzz and
+// the two-client quota test are its concurrency surface.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "core/postprocess.hpp"
+#include "graph/adjacency.hpp"
+#include "nn/matrix.hpp"
+#include "rtl/generators.hpp"
+#include "server/bench.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+#include "server/metrics.hpp"
+#include "server/protocol.hpp"
+#include "server/scheduler.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace syn {
+namespace {
+
+using server::ClientConnection;
+using server::Daemon;
+using server::DaemonConfig;
+using server::DaemonError;
+using server::FittedBackend;
+using server::JobScheduler;
+using server::JobSpec;
+using server::JobState;
+using server::MetricsRegistry;
+using server::QuotaError;
+using server::StreamFilter;
+using util::Json;
+
+// ------------------------------------------------------- MetricsRegistry
+
+TEST(Metrics, CountersAreMonotonicAndCreatedOnFirstUse) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("never"), 0u);
+  registry.inc("a");
+  registry.inc("a", 4);
+  registry.inc("b");
+  EXPECT_EQ(registry.counter("a"), 5u);
+  EXPECT_EQ(registry.counter("b"), 1u);
+  const Json snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.at("counters").at("a").u64(), 5u);
+  EXPECT_EQ(snapshot.at("counters").at("b").u64(), 1u);
+}
+
+TEST(Metrics, PullGaugesWinOverSetGaugesAndRunUnlocked) {
+  MetricsRegistry registry;
+  registry.set_gauge("depth", 3);
+  EXPECT_EQ(registry.snapshot().at("gauges").at("depth").i64(), 3);
+  // A provider may itself touch the registry — the registry must not
+  // hold its own lock while calling it (leaf-lock rule).
+  registry.register_gauge("depth", [&registry] {
+    return static_cast<std::int64_t>(registry.counter("a")) + 7;
+  });
+  registry.inc("a", 2);
+  EXPECT_EQ(registry.snapshot().at("gauges").at("depth").i64(), 9);
+}
+
+TEST(Metrics, LatencyTrackReportsQuantilesFromBinnedSamples) {
+  MetricsRegistry registry;
+  registry.declare_track("lat", 0.0, 100.0, 100);  // 1 ms bins
+  for (int i = 1; i <= 100; ++i) {
+    registry.observe("lat", static_cast<double>(i));
+  }
+  const Json track = registry.snapshot().at("latency").at("lat");
+  EXPECT_EQ(track.at("count").u64(), 100u);
+  EXPECT_NEAR(track.at("mean").number(), 50.5, 1e-9);
+  EXPECT_NEAR(track.at("min").number(), 1.0, 1e-9);
+  EXPECT_NEAR(track.at("max").number(), 100.0, 1e-9);
+  // Quantiles are interpolated from 1 ms bins: exact to bin width.
+  EXPECT_NEAR(track.at("p50").number(), 50.0, 1.5);
+  EXPECT_NEAR(track.at("p95").number(), 95.0, 1.5);
+  EXPECT_NEAR(track.at("p99").number(), 99.0, 1.5);
+}
+
+TEST(Metrics, ObserveOnUndeclaredTrackUsesDefaultGeometry) {
+  MetricsRegistry registry;
+  registry.observe("adhoc", 12.0);
+  const Json track = registry.snapshot().at("latency").at("adhoc");
+  EXPECT_EQ(track.at("count").u64(), 1u);
+  EXPECT_NEAR(track.at("max").number(), 12.0, 1e-9);
+}
+
+TEST(Metrics, RenderTextFlattensSectionsToScrapeLines) {
+  MetricsRegistry registry;
+  registry.inc("jobs_submitted", 42);
+  registry.set_gauge("connections", 2);
+  Json snapshot = registry.snapshot();
+  Json extra;  // daemon-style extra section with one nesting level
+  extra.set("done", static_cast<std::uint64_t>(40));
+  snapshot.set("jobs", std::move(extra));
+  const std::string text = server::render_metrics_text(snapshot);
+  EXPECT_NE(text.find("syn_counters_jobs_submitted 42"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("syn_gauges_connections 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("syn_jobs_done 40"), std::string::npos) << text;
+}
+
+TEST(Metrics, PercentileHelpersMatchOrderStatistics) {
+  const std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(util::percentile(values, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(util::percentile(values, 0.5), 3.0, 1e-9);
+  EXPECT_NEAR(util::percentile(values, 1.0), 5.0, 1e-9);
+  EXPECT_EQ(util::percentile({}, 0.5), 0.0);
+
+  // Ten samples in each of the bins holding 0.5, 1.5, ..., 9.5 (0.1-wide
+  // bins). Quantiles interpolate inside the crossing bin, so they are
+  // exact to the bin width.
+  util::Histogram hist(0.0, 10.0, 100);
+  for (int i = 0; i < 100; ++i) hist.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(util::histogram_quantile(util::Histogram(0.0, 1.0, 4), 0.5), 0.0);
+  EXPECT_NEAR(util::histogram_quantile(hist, 0.0), 0.5, 0.11);
+  EXPECT_NEAR(util::histogram_quantile(hist, 0.5), 4.6, 0.11);
+  EXPECT_NEAR(util::histogram_quantile(hist, 1.0), 9.6, 0.11);
+}
+
+// ------------------------------------------------------ scheduler quotas
+
+JobScheduler::Options slots(std::size_t max_concurrent,
+                            JobScheduler::Quotas quotas = {}) {
+  JobScheduler::Options options;
+  options.max_concurrent = max_concurrent;
+  options.quotas = quotas;
+  return options;
+}
+
+TEST(SchedulerQuota, PerClientQueueQuotaRejectsAndReleases) {
+  // One slot, one queued job per client allowed. A gate keeps the head
+  // job running so queue depth is under test control.
+  JobScheduler scheduler(slots(1, {.max_queued_per_client = 1}));
+  std::atomic<bool> release{false};
+  const std::string head =
+      scheduler.submit("alice", [&](const JobScheduler::Handle&) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  // Wait until the head job occupies the slot (queued -> running).
+  while (scheduler.info(head).state != JobState::kRunning) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string queued =
+      scheduler.submit("alice", [](const JobScheduler::Handle&) {});
+  EXPECT_THROW(scheduler.submit("alice", [](const JobScheduler::Handle&) {}),
+               QuotaError);
+  // Another client is unaffected by alice's full queue.
+  const std::string bobs =
+      scheduler.submit("bob", [](const JobScheduler::Handle&) {});
+  // Cancelling the queued job releases the quota immediately.
+  EXPECT_TRUE(scheduler.cancel(queued));
+  const std::string retry =
+      scheduler.submit("alice", [](const JobScheduler::Handle&) {});
+  release.store(true);
+  scheduler.wait(retry);
+  scheduler.wait(bobs);
+  const JobScheduler::Counts counts = scheduler.counts();
+  EXPECT_EQ(counts.submitted, 4u);
+  EXPECT_EQ(counts.rejected, 1u);
+  EXPECT_EQ(counts.cancelled, 1u);
+  scheduler.shutdown(true);
+}
+
+TEST(SchedulerQuota, ActiveQuotaCountsRunningJobsAndFreesOnCompletion) {
+  JobScheduler scheduler(slots(1, {.max_active_per_client = 1}));
+  std::atomic<bool> release{false};
+  const std::string head =
+      scheduler.submit("c", [&](const JobScheduler::Handle&) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  while (scheduler.info(head).state != JobState::kRunning) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Running counts against the active quota even with an empty queue.
+  EXPECT_THROW(scheduler.submit("c", [](const JobScheduler::Handle&) {}),
+               QuotaError);
+  release.store(true);
+  scheduler.wait(head);
+  const std::string next =
+      scheduler.submit("c", [](const JobScheduler::Handle&) {});
+  EXPECT_EQ(scheduler.wait(next), JobState::kDone);
+  scheduler.shutdown(true);
+}
+
+TEST(SchedulerQuota, GlobalQueueQuotaSpansClients) {
+  JobScheduler scheduler(slots(1, {.max_total_queued = 1}));
+  std::atomic<bool> release{false};
+  const std::string head =
+      scheduler.submit("a", [&](const JobScheduler::Handle&) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  while (scheduler.info(head).state != JobState::kRunning) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (void)scheduler.submit("a", [](const JobScheduler::Handle&) {});
+  EXPECT_THROW(scheduler.submit("b", [](const JobScheduler::Handle&) {}),
+               QuotaError);  // global: a different client is also rejected
+  release.store(true);
+  scheduler.shutdown(true);
+}
+
+// --------------------------------------------------- scheduler erase/GC
+
+TEST(SchedulerGC, EraseTerminalForgetsJobAndClientBookkeeping) {
+  JobScheduler scheduler(slots(2));
+  std::atomic<bool> release{false};
+  const std::string running =
+      scheduler.submit("a", [&](const JobScheduler::Handle&) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  const std::string finished =
+      scheduler.submit("b", [](const JobScheduler::Handle&) {});
+  scheduler.wait(finished);
+  while (scheduler.info(running).state != JobState::kRunning) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  EXPECT_FALSE(scheduler.erase_terminal(running));  // not terminal
+  EXPECT_FALSE(scheduler.erase_terminal("job-999"));
+  EXPECT_TRUE(scheduler.erase_terminal(finished));
+  EXPECT_FALSE(scheduler.erase_terminal(finished));  // already gone
+  EXPECT_THROW(scheduler.info(finished), std::out_of_range);
+  // b has no remaining jobs: its fair-share entry is dropped too.
+  EXPECT_EQ(scheduler.client_loads().count("b"), 0u);
+  EXPECT_EQ(scheduler.client_loads().count("a"), 1u);
+  EXPECT_EQ(scheduler.tracked_jobs(), 1u);
+  // Terminal counters survive the erase — they are monotonic history.
+  EXPECT_EQ(scheduler.counts().done, 1u);
+  release.store(true);
+  scheduler.shutdown(true);
+}
+
+TEST(SchedulerGC, ErasingKeepsTrackedJobsBoundedOverManySubmissions) {
+  JobScheduler scheduler(slots(2));
+  for (int i = 0; i < 64; ++i) {
+    const std::string id =
+        scheduler.submit("c", [](const JobScheduler::Handle&) {});
+    scheduler.wait(id);
+    EXPECT_TRUE(scheduler.erase_terminal(id));
+    EXPECT_EQ(scheduler.tracked_jobs(), 0u);
+  }
+  EXPECT_EQ(scheduler.counts().done, 64u);
+  EXPECT_EQ(scheduler.counts().submitted, 64u);
+  scheduler.shutdown(true);
+}
+
+// ----------------------------------------------------- daemon fixtures
+
+/// Cheap deterministic model (same construction as test_server's stub,
+/// plus a total fallback: repair_to_valid rejects some (attrs, stream)
+/// pairs outright, and these tests sweep arbitrary seeds — a quota/GC
+/// test must not depend on which seeds happen to repair. The fallback is
+/// still a pure function of the inputs, so reruns stay byte-identical).
+class StubModel : public core::GeneratorModel {
+ public:
+  void fit(const std::vector<graph::Graph>&) override {}
+  graph::Graph generate(const graph::NodeAttrs& attrs,
+                        util::Rng& rng) override {
+    const std::size_t n = attrs.size();
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      graph::AdjacencyMatrix gini(n);
+      nn::Matrix probs(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (i != j) gini.set(i, j, rng.bernoulli(0.05));
+          probs.at(i, j) = static_cast<float>(rng.uniform());
+        }
+      }
+      try {
+        return core::repair_to_valid(attrs, gini, probs, rng);
+      } catch (const std::exception&) {
+      }
+    }
+    return rtl::make_counter(4);
+  }
+  [[nodiscard]] std::string name() const override { return "Stub"; }
+};
+
+FittedBackend stub_backend() {
+  auto sampler = std::make_shared<core::AttrSampler>();
+  sampler->fit({rtl::make_counter(4), rtl::make_fifo_ctrl(2),
+                rtl::make_fsm(2, 2)});
+  return {std::make_shared<StubModel>(),
+          [sampler](std::size_t i, util::Rng& rng) {
+            return sampler->sample(10 + 2 * (i % 3), rng);
+          }};
+}
+
+class OperabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("syn_ops_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path socket_path() const {
+    // Unix socket paths are limited to ~107 bytes; keep it short.
+    return std::filesystem::path(::testing::TempDir()) /
+           ("syno_" + std::to_string(::getpid()) + "_" +
+            std::to_string(socket_counter_++) + ".sock");
+  }
+
+  DaemonConfig stub_config(const std::filesystem::path& socket) const {
+    DaemonConfig config;
+    config.socket_path = socket;
+    config.max_concurrent = 2;
+    config.factory = [](const std::string& name) {
+      if (name != "stub") {
+        throw std::invalid_argument("unknown backend \"" + name + "\"");
+      }
+      return stub_backend();
+    };
+    return config;
+  }
+
+  JobSpec stub_spec(std::size_t count, std::uint64_t seed,
+                    const std::string& sub = "") const {
+    JobSpec spec;
+    spec.count = count;
+    spec.seed = seed;
+    spec.backend = "stub";
+    spec.out = sub.empty() ? dir_ : dir_ / sub;
+    spec.batch = 2;
+    spec.threads = 1;
+    spec.shard_size = 2;
+    spec.queue = 4;
+    spec.synth_stats = false;
+    return spec;
+  }
+
+  std::filesystem::path dir_;
+  mutable int socket_counter_ = 0;
+};
+
+/// start() + serve()-on-a-thread wrapper so tests tear down cleanly.
+class RunningDaemon {
+ public:
+  explicit RunningDaemon(const DaemonConfig& config) : daemon_(config) {
+    daemon_.start();
+    thread_ = std::thread([this] { daemon_.serve(); });
+  }
+  ~RunningDaemon() { stop(true); }
+  void stop(bool drain) {
+    if (thread_.joinable()) {
+      daemon_.request_stop(drain);
+      thread_.join();
+    }
+  }
+  Daemon& operator*() { return daemon_; }
+
+ private:
+  Daemon daemon_;
+  std::thread thread_;
+};
+
+/// The exact accounting identity every METRICS snapshot must satisfy:
+/// each admitted job is in precisely one state.
+void expect_jobs_identity(const Json& metrics) {
+  const Json& jobs = metrics.at("jobs");
+  EXPECT_EQ(jobs.at("submitted").u64(),
+            jobs.at("done").u64() + jobs.at("failed").u64() +
+                jobs.at("cancelled").u64() + jobs.at("running").u64() +
+                jobs.at("queued").u64())
+      << metrics.dump();
+}
+
+/// Polls `predicate` against fresh METRICS snapshots until it holds or
+/// the deadline passes (terminal callbacks and GC run asynchronously
+/// relative to stream "end" events).
+Json wait_for_metrics(ClientConnection& conn,
+                      const std::function<bool(const Json&)>& predicate) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (true) {
+    Json metrics = conn.metrics();
+    if (predicate(metrics)) return metrics;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ADD_FAILURE() << "metrics condition not reached: " << metrics.dump();
+      return metrics;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// ----------------------------------------------------- daemon: metrics
+
+TEST_F(OperabilityTest, MetricsReportExactCountsAndMonotonicCounters) {
+  const auto socket = socket_path();
+  RunningDaemon daemon(stub_config(socket));
+  auto conn = ClientConnection::connect_unix(socket);
+
+  const Json before = conn.metrics();
+  expect_jobs_identity(before);
+  EXPECT_EQ(before.at("jobs").at("submitted").u64(), 0u);
+
+  // Two successful jobs and one that fails at backend construction.
+  const std::string a = conn.submit(stub_spec(4, 1, "a"), "alice");
+  EXPECT_EQ(conn.stream(a, nullptr), "done");
+  const std::string b = conn.submit(stub_spec(3, 2, "b"), "alice");
+  EXPECT_EQ(conn.stream(b, nullptr), "done");
+  auto bad = stub_spec(2, 3, "c");
+  bad.backend = "nope";
+  const std::string c = conn.submit(bad, "bob");
+  EXPECT_EQ(conn.stream(c, nullptr), "failed");
+
+  const Json after = wait_for_metrics(conn, [](const Json& m) {
+    return m.at("jobs").at("done").u64() == 2 &&
+           m.at("jobs").at("failed").u64() == 1;
+  });
+  expect_jobs_identity(after);
+  const Json& jobs = after.at("jobs");
+  EXPECT_EQ(jobs.at("submitted").u64(), 3u);
+  EXPECT_EQ(jobs.at("rejected").u64(), 0u);
+  EXPECT_EQ(jobs.at("queued").u64(), 0u);
+  EXPECT_EQ(jobs.at("running").u64(), 0u);
+  EXPECT_EQ(jobs.at("cancelled").u64(), 0u);
+  const Json& counters = after.at("counters");
+  EXPECT_EQ(counters.at("submit_accepted").u64(), 3u);
+  // 4 + 3 record events streamed; every design checkpointed.
+  EXPECT_EQ(counters.at("records_streamed").u64(), 7u);
+  EXPECT_EQ(counters.at("designs_committed").u64(), 7u);
+  // Per-client section tracks both clients with no live load.
+  EXPECT_EQ(after.at("clients").at("alice").at("active").u64(), 0u);
+  EXPECT_EQ(after.at("clients").at("bob").at("active").u64(), 0u);
+  // Latency tracks saw every job.
+  EXPECT_EQ(after.at("latency").at("job_ms").at("count").u64(), 3u);
+  EXPECT_EQ(after.at("latency").at("dispatch_ms").at("count").u64(), 3u);
+
+  // Counters are monotonic across PING + METRICS churn (each request
+  // itself bumps the requests counter).
+  const std::uint64_t requests = counters.at("requests").u64();
+  server::Request ping;
+  ping.cmd = server::Request::Cmd::kPing;
+  (void)conn.request(ping);
+  const Json later = conn.metrics();
+  EXPECT_GT(later.at("counters").at("requests").u64(), requests);
+  EXPECT_GE(later.at("counters").at("records_streamed").u64(), 7u);
+  EXPECT_GE(later.at("jobs").at("submitted").u64(), 3u);
+}
+
+TEST_F(OperabilityTest, MetricsIdentityHoldsUnderConcurrentSubmitCancel) {
+  const auto socket = socket_path();
+  DaemonConfig config = stub_config(socket);
+  config.gc_retain = 2;  // GC churn while the fuzz runs
+  RunningDaemon daemon(config);
+
+  constexpr std::size_t kSubmitters = 2;
+  constexpr std::size_t kJobsEach = 8;
+  std::atomic<bool> running{true};
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      auto conn = ClientConnection::connect_unix(socket);
+      for (std::size_t j = 0; j < kJobsEach; ++j) {
+        const std::string sub =
+            "f" + std::to_string(t) + "_" + std::to_string(j);
+        const std::string id = conn.submit(
+            stub_spec(2, 100 + t * 100 + j, sub),
+            "fuzz-" + std::to_string(t));
+        if (j % 2 == 1) {
+          try {
+            (void)conn.cancel(id);
+          } catch (const DaemonError&) {
+            // Already GC-evicted: a legal race under gc_retain=2.
+          }
+        }
+      }
+    });
+  }
+
+  // Poller: every snapshot must satisfy the identity exactly, and
+  // submitted must never decrease — even mid-churn, even while GC evicts.
+  auto conn = ClientConnection::connect_unix(socket);
+  std::uint64_t last_submitted = 0;
+  while (running.load()) {
+    const Json metrics = conn.metrics();
+    expect_jobs_identity(metrics);
+    const std::uint64_t submitted = metrics.at("jobs").at("submitted").u64();
+    EXPECT_GE(submitted, last_submitted);
+    last_submitted = submitted;
+    if (submitted >= kSubmitters * kJobsEach) running.store(false);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::thread& t : submitters) t.join();
+
+  const Json final_metrics = wait_for_metrics(conn, [](const Json& m) {
+    return m.at("jobs").at("queued").u64() == 0 &&
+           m.at("jobs").at("running").u64() == 0;
+  });
+  expect_jobs_identity(final_metrics);
+  EXPECT_EQ(final_metrics.at("jobs").at("submitted").u64(),
+            kSubmitters * kJobsEach);
+}
+
+// ------------------------------------------------------ daemon: quotas
+
+TEST_F(OperabilityTest, OverQuotaSubmitGetsTypedErrorAndFreesOnCancel) {
+  const auto socket = socket_path();
+  DaemonConfig config = stub_config(socket);
+  config.max_concurrent = 1;
+  config.quotas.max_queued_per_client = 1;
+  RunningDaemon daemon(config);
+  auto conn = ClientConnection::connect_unix(socket);
+
+  // Big head job occupies the slot; poll until it leaves the queue.
+  const std::string head = conn.submit(stub_spec(300, 1, "head"), "alice");
+  while (conn.status(head).at("state").str() != "running") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string queued = conn.submit(stub_spec(2, 2, "q"), "alice");
+  try {
+    (void)conn.submit(stub_spec(2, 3, "r"), "alice");
+    FAIL() << "over-quota submit must be rejected";
+  } catch (const DaemonError& e) {
+    EXPECT_EQ(e.code, server::kErrorCodeQuota);
+    EXPECT_NE(std::string(e.what()).find("quota"), std::string::npos)
+        << e.what();
+  }
+  // Another client still gets in; alice gets in again after cancelling
+  // her queued job (quota released immediately).
+  const std::string bobs = conn.submit(stub_spec(2, 4, "b"), "bob");
+  (void)conn.cancel(queued);
+  const std::string retry = conn.submit(stub_spec(2, 5, "r2"), "alice");
+  (void)conn.cancel(head);
+  EXPECT_EQ(conn.stream(head, nullptr), "cancelled");
+  EXPECT_EQ(conn.stream(bobs, nullptr), "done");
+  EXPECT_EQ(conn.stream(retry, nullptr), "done");
+
+  const Json metrics = conn.metrics();
+  EXPECT_EQ(metrics.at("jobs").at("rejected").u64(), 1u);
+  EXPECT_EQ(metrics.at("counters").at("submit_rejected").u64(), 1u);
+}
+
+TEST_F(OperabilityTest, DesignCountQuotaRejectsBeforeScheduling) {
+  const auto socket = socket_path();
+  DaemonConfig config = stub_config(socket);
+  config.max_designs_per_job = 10;
+  RunningDaemon daemon(config);
+  auto conn = ClientConnection::connect_unix(socket);
+  try {
+    (void)conn.submit(stub_spec(11, 1, "big"));
+    FAIL() << "over-size submit must be rejected";
+  } catch (const DaemonError& e) {
+    EXPECT_EQ(e.code, server::kErrorCodeQuota);
+  }
+  // The rejection never reached the scheduler.
+  const Json metrics = conn.metrics();
+  EXPECT_EQ(metrics.at("jobs").at("submitted").u64(), 0u);
+  EXPECT_EQ(metrics.at("counters").at("submit_rejected").u64(), 1u);
+  // At the limit is fine.
+  const std::string ok = conn.submit(stub_spec(10, 1, "ok"));
+  EXPECT_EQ(conn.stream(ok, nullptr), "done");
+}
+
+TEST_F(OperabilityTest, DiskBudgetQuotaRejectsFullOutputDir) {
+  const auto socket = socket_path();
+  DaemonConfig config = stub_config(socket);
+  config.max_out_bytes = 1;  // any prior byte in the dir rejects
+  RunningDaemon daemon(config);
+  auto conn = ClientConnection::connect_unix(socket);
+  // Empty (missing) dir passes the budget.
+  const std::string first = conn.submit(stub_spec(2, 1, "d"));
+  EXPECT_EQ(conn.stream(first, nullptr), "done");
+  // Now the dir holds the dataset: the next submit is over budget.
+  try {
+    (void)conn.submit(stub_spec(4, 1, "d"));
+    FAIL() << "over-budget submit must be rejected";
+  } catch (const DaemonError& e) {
+    EXPECT_EQ(e.code, server::kErrorCodeQuota);
+  }
+}
+
+TEST_F(OperabilityTest, TwoClientsUnderQuotaPressureBothComplete) {
+  const auto socket = socket_path();
+  DaemonConfig config = stub_config(socket);
+  config.quotas.max_queued_per_client = 2;
+  RunningDaemon daemon(config);
+
+  constexpr std::size_t kJobsEach = 6;
+  std::atomic<std::size_t> rejections{0};
+  const auto client_thread = [&](std::size_t index) {
+    auto conn = ClientConnection::connect_unix(socket);
+    const std::string name = "load-" + std::to_string(index);
+    std::vector<std::string> ids;
+    for (std::size_t j = 0; j < kJobsEach; ++j) {
+      const std::string sub =
+          "t" + std::to_string(index) + "_" + std::to_string(j);
+      while (true) {
+        try {
+          ids.push_back(
+              conn.submit(stub_spec(2, index * 100 + j, sub), name));
+          break;
+        } catch (const DaemonError& e) {
+          ASSERT_EQ(e.code, server::kErrorCodeQuota) << e.what();
+          rejections.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+    }
+    for (const std::string& id : ids) {
+      EXPECT_EQ(conn.stream(id, nullptr), "done") << name << " " << id;
+    }
+  };
+  std::thread first(client_thread, 0);
+  std::thread second(client_thread, 1);
+  first.join();
+  second.join();
+
+  auto conn = ClientConnection::connect_unix(socket);
+  const Json metrics = wait_for_metrics(conn, [](const Json& m) {
+    return m.at("jobs").at("done").u64() == 2 * kJobsEach;
+  });
+  expect_jobs_identity(metrics);
+  EXPECT_EQ(metrics.at("jobs").at("submitted").u64(), 2 * kJobsEach);
+  EXPECT_EQ(metrics.at("jobs").at("rejected").u64(), rejections.load());
+}
+
+// ---------------------------------------------------------- daemon: GC
+
+TEST_F(OperabilityTest, TerminalJobsAreEvictedBeyondRetention) {
+  const auto socket = socket_path();
+  DaemonConfig config = stub_config(socket);
+  config.gc_retain = 3;
+  RunningDaemon daemon(config);
+  auto conn = ClientConnection::connect_unix(socket);
+
+  // 2x the retention: the first 3 finished jobs must be evicted. Every
+  // job shares one output dir + seed, so jobs 2..6 resume-complete
+  // instantly — this test is about metadata, not datasets.
+  std::vector<std::string> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(conn.submit(stub_spec(4, 7, "gc"), "gc-client"));
+    EXPECT_EQ(conn.stream(ids.back(), nullptr), "done");
+  }
+
+  const Json metrics = wait_for_metrics(conn, [](const Json& m) {
+    return m.at("jobs").at("expired").u64() == 3;
+  });
+  // Metadata is bounded by retention, not submission count — scheduler
+  // jobs_, daemon specs_ and event logs all evicted together.
+  EXPECT_EQ(metrics.at("jobs").at("tracked").u64(), 3u);
+  EXPECT_EQ(metrics.at("gauges").at("tracked_specs").i64(), 3);
+  EXPECT_EQ(metrics.at("gauges").at("event_logs").i64(), 3);
+  EXPECT_EQ(metrics.at("gauges").at("terminal_retained").i64(), 3);
+
+  // Evicted ids answer with the typed "expired" error, retained ids
+  // still answer STATUS normally.
+  try {
+    (void)conn.status(ids.front());
+    FAIL() << "evicted job must report expired";
+  } catch (const DaemonError& e) {
+    EXPECT_EQ(e.code, server::kErrorCodeExpired);
+  }
+  EXPECT_EQ(conn.status(ids.back()).at("state").str(), "done");
+  // A genuinely unknown id is distinguishable from an expired one.
+  try {
+    (void)conn.status("job-424242");
+    FAIL() << "unknown job must report unknown_job";
+  } catch (const DaemonError& e) {
+    EXPECT_EQ(e.code, server::kErrorCodeUnknownJob);
+  }
+  // STREAM and CANCEL answer expired too (and must not hang on a
+  // recreated, never-closed event log).
+  try {
+    (void)conn.stream(ids.front(), nullptr);
+    FAIL() << "stream of an evicted job must report expired";
+  } catch (const DaemonError& e) {
+    EXPECT_EQ(e.code, server::kErrorCodeExpired);
+  }
+  try {
+    (void)conn.cancel(ids.front());
+    FAIL() << "cancel of an evicted job must report expired";
+  } catch (const DaemonError& e) {
+    EXPECT_EQ(e.code, server::kErrorCodeExpired);
+  }
+}
+
+TEST_F(OperabilityTest, GcTtlSweepsOnMetricsPoll) {
+  const auto socket = socket_path();
+  DaemonConfig config = stub_config(socket);
+  config.gc_ttl = std::chrono::milliseconds(30);
+  RunningDaemon daemon(config);
+  auto conn = ClientConnection::connect_unix(socket);
+
+  const std::string id = conn.submit(stub_spec(2, 1, "ttl"));
+  EXPECT_EQ(conn.stream(id, nullptr), "done");
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // No terminal events fire anymore; the METRICS poll runs the sweep.
+  const Json metrics = wait_for_metrics(conn, [](const Json& m) {
+    return m.at("jobs").at("expired").u64() == 1;
+  });
+  EXPECT_EQ(metrics.at("jobs").at("tracked").u64(), 0u);
+  try {
+    (void)conn.status(id);
+    FAIL() << "TTL-evicted job must report expired";
+  } catch (const DaemonError& e) {
+    EXPECT_EQ(e.code, server::kErrorCodeExpired);
+  }
+}
+
+// ------------------------------------------------- daemon: stream filter
+
+TEST_F(OperabilityTest, StreamFilterSelectsEventKinds) {
+  const auto socket = socket_path();
+  RunningDaemon daemon(stub_config(socket));
+  auto conn = ClientConnection::connect_unix(socket);
+
+  const std::string id = conn.submit(stub_spec(5, 9, "sf"));
+  std::vector<std::string> record_kinds;
+  EXPECT_EQ(conn.stream(
+                id,
+                [&](const Json& event) {
+                  record_kinds.push_back(event.at("event").str());
+                },
+                StreamFilter::kRecords),
+            "done");
+  ASSERT_EQ(record_kinds.size(), 6u);  // 5 records + end, nothing else
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(record_kinds[i], "record");
+  EXPECT_EQ(record_kinds.back(), "end");
+
+  // Replay the finished job through the checkpoints filter: only
+  // checkpoint events plus the terminal end — no records, no summary.
+  std::vector<std::string> checkpoint_kinds;
+  EXPECT_EQ(conn.stream(
+                id,
+                [&](const Json& event) {
+                  checkpoint_kinds.push_back(event.at("event").str());
+                },
+                StreamFilter::kCheckpoints),
+            "done");
+  ASSERT_GE(checkpoint_kinds.size(), 2u);
+  for (std::size_t i = 0; i + 1 < checkpoint_kinds.size(); ++i) {
+    EXPECT_EQ(checkpoint_kinds[i], "checkpoint");
+  }
+  EXPECT_EQ(checkpoint_kinds.back(), "end");
+
+  // An unfiltered replay still carries record + checkpoint + summary.
+  std::vector<std::string> all_kinds;
+  (void)conn.stream(id, [&](const Json& event) {
+    all_kinds.push_back(event.at("event").str());
+  });
+  EXPECT_NE(std::find(all_kinds.begin(), all_kinds.end(), "summary"),
+            all_kinds.end());
+
+  // An unknown filter value is a protocol error, not a dropped
+  // connection.
+  conn.send_line(R"({"cmd":"stream","id":")" + id + R"(","filter":"bogus"})");
+  const auto reply = conn.recv_line();
+  ASSERT_TRUE(reply.has_value());
+  const Json parsed = Json::parse(*reply);
+  EXPECT_FALSE(parsed.at("ok").boolean());
+  EXPECT_NE(parsed.at("error").str().find("stream filter"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------- bench harness
+
+TEST_F(OperabilityTest, BenchRunsCleanAndReconcilesWithMetrics) {
+  const auto socket = socket_path();
+  RunningDaemon daemon(stub_config(socket));
+
+  server::BenchOptions options;
+  options.socket_path = socket;
+  options.clients = 3;
+  options.total_jobs = 6;
+  options.spec = stub_spec(3, 500);
+  options.out_root = dir_ / "bench";
+  const server::BenchReport report = server::run_bench(options);
+
+  EXPECT_TRUE(report.ok()) << report.render();
+  EXPECT_EQ(report.submitted, 6u);
+  EXPECT_EQ(report.done, 6u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.records_streamed, 18u);  // 6 jobs x 3 designs
+  ASSERT_EQ(report.submit_to_terminal_ms.size(), 6u);
+  for (const double ms : report.submit_to_terminal_ms) EXPECT_GT(ms, 0.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+
+  // The rendered report carries the non-empty latency histogram and the
+  // headline counters.
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("submit->terminal p50"), std::string::npos);
+  EXPECT_NE(rendered.find("submit->terminal latency (ms)"),
+            std::string::npos);
+
+  // The daemon's own accounting agrees with the client-side report.
+  auto conn = ClientConnection::connect_unix(socket);
+  const Json metrics = wait_for_metrics(conn, [](const Json& m) {
+    return m.at("jobs").at("done").u64() == 6;
+  });
+  expect_jobs_identity(metrics);
+  EXPECT_EQ(metrics.at("jobs").at("submitted").u64(), 6u);
+  EXPECT_EQ(metrics.at("counters").at("records_streamed").u64(), 18u);
+}
+
+}  // namespace
+}  // namespace syn

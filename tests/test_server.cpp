@@ -88,9 +88,22 @@ TEST(Protocol, EveryRequestKindRoundTrips) {
     r.id = "job-7";
     requests.push_back(r);
   }
+  for (const auto filter : {server::StreamFilter::kRecords,
+                            server::StreamFilter::kCheckpoints}) {
+    Request r;  // non-default filters must survive the omission encoding
+    r.cmd = Request::Cmd::kStream;
+    r.id = "job-8";
+    r.filter = filter;
+    requests.push_back(r);
+  }
   {
     Request r;
     r.cmd = Request::Cmd::kList;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.cmd = Request::Cmd::kMetrics;
     requests.push_back(r);
   }
   {
@@ -133,6 +146,11 @@ TEST(Protocol, RejectsMalformedRequests) {
       server::parse_request(
           R"({"cmd":"submit","spec":{"count":"five","seed":1}})"),
       server::ProtocolError);  // wrong type reports as protocol error
+  EXPECT_THROW(
+      server::parse_request(R"({"cmd":"stream","id":"j","filter":"bogus"})"),
+      server::ProtocolError);  // unknown stream filter
+  EXPECT_THROW(server::stream_filter_from_string("Records"),
+               server::ProtocolError);  // case-sensitive
 }
 
 TEST(Protocol, ResponsesCarryOkFlag) {
@@ -140,6 +158,11 @@ TEST(Protocol, ResponsesCarryOkFlag) {
   const Json error = server::error_response("boom");
   EXPECT_FALSE(error.at("ok").boolean());
   EXPECT_EQ(error.at("error").str(), "boom");
+  EXPECT_EQ(error.find("code"), nullptr);  // generic errors carry no code
+  const Json typed =
+      server::error_response("full", server::kErrorCodeQuota);
+  EXPECT_FALSE(typed.at("ok").boolean());
+  EXPECT_EQ(typed.at("code").str(), "quota_exceeded");
 }
 
 // --------------------------------------------------------------- scheduler
