@@ -32,11 +32,42 @@
 #include "synth/synthesizer.hpp"
 #include "tests/support/fixtures.hpp"
 #include "util/batching.hpp"
+#include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace syn;
+
+/// RAII cache-miss column for a benchmark: counts hardware cache
+/// misses/references across the timing loop (perf_event, self-process,
+/// user-space) and reports them as extra row counters. Where perf events
+/// are unavailable (sandboxed container, paranoid kernel) the column is
+/// skipped cleanly — the row simply has no cache counters.
+class CacheMissColumn {
+ public:
+  explicit CacheMissColumn(benchmark::State& state) : state_(state) {
+    counters_.start();
+  }
+  ~CacheMissColumn() {
+    counters_.stop();
+    if (!counters_.available() || state_.iterations() == 0) return;
+    const auto iters = static_cast<double>(state_.iterations());
+    state_.counters["cache_misses_per_iter"] = benchmark::Counter(
+        static_cast<double>(counters_.misses()) / iters);
+    if (counters_.references() > 0) {
+      state_.counters["cache_miss_rate"] = benchmark::Counter(
+          static_cast<double>(counters_.misses()) /
+          static_cast<double>(counters_.references()));
+    }
+  }
+  CacheMissColumn(const CacheMissColumn&) = delete;
+  CacheMissColumn& operator=(const CacheMissColumn&) = delete;
+
+ private:
+  benchmark::State& state_;
+  util::PerfCacheCounters counters_;
+};
 
 void BM_Bitblast(benchmark::State& state) {
   const auto g = rtl::make_alu(static_cast<int>(state.range(0)));
@@ -109,6 +140,7 @@ void BM_DenoiserStep(benchmark::State& state) {
       }
     }
   }
+  const CacheMissColumn cache(state);
   for (auto _ : state) {
     const auto h = den.encode(features, parents, 3);
     benchmark::DoNotOptimize(den.decode(h, pairs, bits, 3));
@@ -142,6 +174,7 @@ void BM_DiffusionSample(benchmark::State& state) {
   const std::vector<graph::NodeAttrs> batch_attrs(kChains, attrs);
   const auto seeds = util::split_streams(31, kChains);
   const auto chunk = static_cast<std::size_t>(state.range(0));
+  const CacheMissColumn cache(state);
   for (auto _ : state) {
     if (chunk <= 1) {
       for (std::size_t i = 0; i < kChains; ++i) {
@@ -283,6 +316,7 @@ void BM_GenerateBatch(benchmark::State& state, const char* backend) {
     attrs.push_back(sampler.sample(20, attr_rng));
   }
   const auto seeds = util::split_streams(17, kItems);
+  const CacheMissColumn cache(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         model.generate_batch(attrs, seeds, {.batch = 4, .threads = 1}));
@@ -314,6 +348,7 @@ void BM_DiscriminatorScore(benchmark::State& state) {
     batch.push_back(redundant_circuit(48, 20 + s));
   }
   const auto chunk = static_cast<std::size_t>(state.range(0));
+  const CacheMissColumn cache(state);
   for (auto _ : state) {
     if (chunk <= 1) {
       for (const auto& g : batch) benchmark::DoNotOptimize(disc.predict(g));

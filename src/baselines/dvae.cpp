@@ -1,5 +1,6 @@
 #include "baselines/dvae.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <stdexcept>
@@ -102,6 +103,8 @@ void Dvae::fit(const std::vector<Graph>& corpus) {
     }
     losses_.push_back(count ? epoch_loss / static_cast<double>(count) : 0.0);
   }
+  packed_decoder_ = nn::PackedGru(decoder_);
+  packed_edge_head_ = nn::PackedMlp(edge_head_);
   fitted_ = true;
 }
 
@@ -112,24 +115,34 @@ Graph Dvae::generate(const NodeAttrs& attrs, util::Rng& rng) {
   const NodeAttrs ordered = permute_attrs(attrs, perm);
   const std::size_t n = ordered.size();
 
-  // Prior sample.
+  // Prior sample (drawn before the loop so the rng stream is unchanged).
   Matrix z_val(1, config_.latent);
   for (auto& v : z_val.data()) v = static_cast<float>(rng.gaussian());
-  const Tensor z(z_val);
 
   AdjacencyMatrix adj(n);
   Matrix edge_prob(n, n);
-  Tensor h(Matrix(1, config_.hidden));
+  // Fused inference path: the decoder input row [x | z] is written
+  // directly (bitwise identical to concat_cols feeding the matmul), then
+  // packed GRU + edge head run through a per-call arena reset each step.
+  const std::size_t in_dim = window_input_dim(w);
+  nn::InferenceArena arena;
+  std::vector<float> xz(in_dim + config_.latent);
+  std::copy(z_val.data().begin(), z_val.data().end(), xz.begin() + in_dim);
+  std::vector<float> h(config_.hidden, 0.0f);
   std::vector<float> prev(w, 0.0f);
   for (std::size_t k = 0; k < n; ++k) {
     const Matrix x =
         window_step_input(prev, ordered.types[k], ordered.widths[k], w);
-    h = decoder_.forward(nn::concat_cols(Tensor(x), z), h);
-    const Tensor logits = edge_head_.forward(h);
+    std::copy(x.data().begin(), x.data().end(), xz.begin());
+    arena.reset();
+    const float* h_next = nn::gru_forward_rows(packed_decoder_, arena,
+                                               xz.data(), h.data(), 1);
+    const float* logits =
+        nn::mlp_forward_rows(packed_edge_head_, arena, h_next, 1);
+    std::copy(h_next, h_next + config_.hidden, h.begin());
     std::vector<float> sampled(w, 0.0f);
     for (std::size_t d = 0; d < w && d < k; ++d) {
-      const double p =
-          1.0 / (1.0 + std::exp(-static_cast<double>(logits.value()[d])));
+      const double p = 1.0 / (1.0 + std::exp(-static_cast<double>(logits[d])));
       const std::size_t src = k - 1 - d;
       edge_prob.at(src, k) = static_cast<float>(p);
       if (rng.bernoulli(p)) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/generator.hpp"
+#include "nn/inference.hpp"
 #include "nn/layers.hpp"
 
 namespace syn::baselines {
@@ -40,6 +41,11 @@ class Dvae : public core::GeneratorModel {
     return losses_;
   }
 
+  /// Trained modules, for tests that replay generation on the tensor path
+  /// and assert it matches the fused inference path bitwise.
+  [[nodiscard]] const nn::GruCell& decoder() const { return decoder_; }
+  [[nodiscard]] const nn::Mlp& edge_head() const { return edge_head_; }
+
  private:
   DvaeConfig config_;
   util::Rng rng_;
@@ -47,6 +53,10 @@ class Dvae : public core::GeneratorModel {
   nn::Linear mu_head_, logvar_head_;
   nn::GruCell decoder_;  // input: window step input ⊕ z
   nn::Mlp edge_head_;    // hidden -> window logits
+  // Fused-inference copies, packed once at the end of fit() and read-only
+  // afterwards (generate_batch calls generate concurrently).
+  nn::PackedGru packed_decoder_;
+  nn::PackedMlp packed_edge_head_;
   std::vector<double> losses_;
   bool fitted_ = false;
 };

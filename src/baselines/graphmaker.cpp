@@ -98,6 +98,8 @@ void GraphMaker::fit(const std::vector<Graph>& corpus) {
       opt.step();
     }
   }
+  packed_embed_ = nn::PackedMlp(embed_);
+  packed_scorer_ = nn::PackedMlp(scorer_);
   fitted_ = true;
 }
 
@@ -105,23 +107,56 @@ Graph GraphMaker::generate(const NodeAttrs& attrs, util::Rng& rng) {
   if (!fitted_) throw std::logic_error("GraphMaker::generate before fit");
   const std::size_t n = attrs.size();
   const Matrix features = Denoiser::node_features(attrs);
-  const Tensor emb = embed_.forward(Tensor(features));
+
+  // Fused inference path. Embeddings for all n nodes in one packed
+  // forward; then the O(n^2) pair sweep runs in L2-sized blocks whose
+  // scratch is rewound per block (the embedding table stays live below
+  // the mark). Pair rows [ea ⊙ eb | ea + eb] are written directly —
+  // bitwise identical to gather_rows + mul/add/concat_cols feeding the
+  // scorer, whose matmuls are row-independent. Pairs are scored and
+  // sampled strictly in (i, j) order, so the rng stream is unchanged.
+  const std::size_t hidden = config_.hidden;
+  nn::InferenceArena arena;  // per-call: generate_batch shards concurrently
+  const float* emb =
+      nn::mlp_forward_rows(packed_embed_, arena, features.data().data(), n);
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
   pairs.reserve(n * (n - 1) / 2);
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
   }
-  const Tensor logits = pair_logits(emb, pairs);
+
+  // Block size: keep one block's rows + scorer activations within a
+  // quarter of L2 (≈ 3*hidden + 1 floats per pair through the scorer).
+  const std::size_t row_bytes = (3 * hidden + 1) * sizeof(float);
+  const std::size_t block = std::max<std::size_t>(
+      64, nn::CacheGeometry::host().l2_bytes / (4 * row_bytes));
 
   AdjacencyMatrix undirected(n);
   Matrix uprob(n, n);
-  for (std::size_t k = 0; k < pairs.size(); ++k) {
-    const double p =
-        1.0 / (1.0 + std::exp(-static_cast<double>(logits.value()[k])));
-    const auto [i, j] = pairs[k];
-    uprob.at(i, j) = static_cast<float>(p);
-    if (rng.bernoulli(p)) undirected.set(i, j, true);
+  const nn::InferenceArena::Mark mark = arena.mark();
+  for (std::size_t k0 = 0; k0 < pairs.size(); k0 += block) {
+    const std::size_t k1 = std::min(k0 + block, pairs.size());
+    arena.rewind(mark);
+    float* rows = arena.alloc((k1 - k0) * 2 * hidden);
+    for (std::size_t k = k0; k < k1; ++k) {
+      const float* ea = emb + pairs[k].first * hidden;
+      const float* eb = emb + pairs[k].second * hidden;
+      float* row = rows + (k - k0) * 2 * hidden;
+      for (std::size_t c = 0; c < hidden; ++c) {
+        row[c] = ea[c] * eb[c];
+        row[hidden + c] = ea[c] + eb[c];
+      }
+    }
+    const float* logits =
+        nn::mlp_forward_rows(packed_scorer_, arena, rows, k1 - k0);
+    for (std::size_t k = k0; k < k1; ++k) {
+      const double p =
+          1.0 / (1.0 + std::exp(-static_cast<double>(logits[k - k0])));
+      const auto [i, j] = pairs[k];
+      uprob.at(i, j) = static_cast<float>(p);
+      if (rng.bernoulli(p)) undirected.set(i, j, true);
+    }
   }
   const auto oriented = gravity_.orient(attrs, undirected, uprob, rng);
   Graph g = core::repair_to_valid(attrs, oriented.adjacency,

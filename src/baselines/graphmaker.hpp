@@ -14,6 +14,7 @@
 
 #include "baselines/gravity.hpp"
 #include "core/generator.hpp"
+#include "nn/inference.hpp"
 #include "nn/layers.hpp"
 
 namespace syn::baselines {
@@ -45,6 +46,10 @@ class GraphMaker : public core::GeneratorModel {
   util::Rng rng_;
   nn::Mlp embed_;   // node features -> hidden
   nn::Mlp scorer_;  // 2*hidden -> 1
+  // Fused-inference copies, packed once at the end of fit() and read-only
+  // afterwards (generate_batch calls generate concurrently).
+  nn::PackedMlp packed_embed_;
+  nn::PackedMlp packed_scorer_;
   GravityOrienter gravity_;
   bool fitted_ = false;
 };

@@ -1,5 +1,6 @@
 #include "baselines/graphrnn.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <stdexcept>
@@ -80,6 +81,8 @@ void GraphRnn::fit(const std::vector<Graph>& corpus) {
     }
     losses_.push_back(count ? epoch_loss / static_cast<double>(count) : 0.0);
   }
+  packed_cell_ = nn::PackedGru(cell_);
+  packed_head_ = nn::PackedMlp(head_);
   fitted_ = true;
 }
 
@@ -92,17 +95,24 @@ Graph GraphRnn::generate(const NodeAttrs& attrs, util::Rng& rng) {
 
   AdjacencyMatrix adj(n);
   Matrix edge_prob(n, n);
-  Tensor h(Matrix(1, config_.hidden));
+  // Fused inference path: packed GRU + head through a per-call arena
+  // (generate_batch runs generate concurrently — no shared scratch),
+  // reset every step so the whole loop reuses one allocation. Bitwise
+  // equal to the tensor-path loop (cell_.forward / head_.forward).
+  nn::InferenceArena arena;
+  std::vector<float> h(config_.hidden, 0.0f);
   std::vector<float> prev(w, 0.0f);
   for (std::size_t k = 0; k < n; ++k) {
     const Matrix x =
         window_step_input(prev, ordered.types[k], ordered.widths[k], w);
-    h = cell_.forward(Tensor(x), h);
-    const Tensor logits = head_.forward(h);
+    arena.reset();
+    const float* h_next = nn::gru_forward_rows(packed_cell_, arena,
+                                               x.data().data(), h.data(), 1);
+    const float* logits = nn::mlp_forward_rows(packed_head_, arena, h_next, 1);
+    std::copy(h_next, h_next + config_.hidden, h.begin());
     std::vector<float> sampled(w, 0.0f);
     for (std::size_t d = 0; d < w && d < k; ++d) {
-      const double p =
-          1.0 / (1.0 + std::exp(-static_cast<double>(logits.value()[d])));
+      const double p = 1.0 / (1.0 + std::exp(-static_cast<double>(logits[d])));
       const std::size_t src = k - 1 - d;
       edge_prob.at(src, k) = static_cast<float>(p);
       if (rng.bernoulli(p)) {

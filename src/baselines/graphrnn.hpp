@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/generator.hpp"
+#include "nn/inference.hpp"
 #include "nn/layers.hpp"
 
 namespace syn::baselines {
@@ -40,6 +41,11 @@ class GraphRnn : public core::GeneratorModel {
     return losses_;
   }
 
+  /// Trained modules, for tests that replay generation on the tensor path
+  /// and assert it matches the fused inference path bitwise.
+  [[nodiscard]] const nn::GruCell& cell() const { return cell_; }
+  [[nodiscard]] const nn::Mlp& head() const { return head_; }
+
  private:
   [[nodiscard]] std::size_t input_dim() const;
 
@@ -47,6 +53,10 @@ class GraphRnn : public core::GeneratorModel {
   util::Rng rng_;
   nn::GruCell cell_;
   nn::Mlp head_;  // hidden -> window logits
+  // Fused-inference copies, packed once at the end of fit() and read-only
+  // afterwards (generate_batch calls generate concurrently).
+  nn::PackedGru packed_cell_;
+  nn::PackedMlp packed_head_;
   std::vector<double> losses_;
   bool fitted_ = false;
 };

@@ -147,14 +147,18 @@ Graph SparseDigress::generate(const NodeAttrs& attrs, util::Rng& rng) {
     for (std::size_t k = 0; k < pairs.size(); ++k) {
       state[k] = ut.at(pairs[k].src, pairs[k].dst) ? 1 : 0;
     }
-    const Tensor h = denoiser_.encode(features, Denoiser::parent_lists(ut), t);
-    const Tensor logits = denoiser_.decode(h, pairs, state, t);
+    // Fused inference path: a batch-of-one predict_batch runs the packed
+    // no-grad denoiser kernels — bitwise equal to encode() + decode() on
+    // the tensor path, minus all per-op temporaries.
+    const auto parents = Denoiser::parent_lists(ut);
+    const diffusion::GraphStepInput item{&features, &parents, &pairs, &state};
+    const Matrix logits = denoiser_.predict_batch({&item, 1}, t)[0];
     AdjacencyMatrix next(n);
     for (std::size_t k = 0; k < pairs.size(); ++k) {
       const auto i = pairs[k].src;
       const auto j = pairs[k].dst;
       const double p0 =
-          1.0 / (1.0 + std::exp(-static_cast<double>(logits.value()[k])));
+          1.0 / (1.0 + std::exp(-static_cast<double>(logits.data()[k])));
       const double p_prev = schedule_->posterior(t, ut.at(i, j), p0);
       const bool bit = rng.bernoulli(p_prev);
       next.set(i, j, bit);

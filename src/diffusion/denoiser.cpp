@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "nn/inference.hpp"
+
 namespace syn::diffusion {
 
 using graph::kNumNodeTypes;
@@ -143,25 +145,12 @@ Tensor Denoiser::decode(const Tensor& h, const std::vector<Pair>& pairs,
 
 namespace {
 
-/// c = a * b with nn::matmul's exact loop order (i, k ascending with the
-/// zero-skip, j) so fused results match the tensor path bitwise. Raw row
-/// pointers — the arithmetic is identical, only the addressing is leaner.
+/// c = a * b via the shared inference kernel (src/nn/inference.hpp):
+/// nn::matmul's exact per-element accumulation order — k ascending with
+/// the zero-skip — with L2-aware tiling planned from the host's measured
+/// cache geometry. Bitwise equal to the tensor path at any tile size.
 void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
-  const std::size_t cols = b.cols();
-  c = Matrix(a.rows(), cols);
-  const float* brow0 = b.data().data();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.data().data() + i * a.cols();
-    float* crow = c.data().data() + i * cols;
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float av = arow[k];
-      if (av == 0.0f) continue;
-      const float* brow = brow0 + k * cols;
-      for (std::size_t j = 0; j < cols; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  nn::matmul_rows_into(c, a, b);
 }
 
 }  // namespace

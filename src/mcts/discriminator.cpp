@@ -128,6 +128,10 @@ void PcsDiscriminator::fit(const std::vector<Graph>& samples, int epochs) {
     loss.backward();
     opt.step();
   }
+  // Pack the trained weights once for the fused score_batch path; the
+  // packed copy is read-only afterwards, so concurrent scoring (batched
+  // MCTS shards across the ThreadPool) needs no synchronization.
+  packed_ = nn::PackedMlp(net_);
   fitted_ = true;
 }
 
@@ -149,18 +153,23 @@ std::vector<double> PcsDiscriminator::score_batch(
     throw std::logic_error("PcsDiscriminator::score_batch before fit");
   }
   if (gs.empty()) return {};
-  const nn::NoGradGuard no_grad;  // scoring never backpropagates
-  nn::Matrix x(gs.size(), kPcsFeatureDim);
+  // Fused inference path: feature rows go straight into an arena buffer
+  // and through the packed MLP — no per-op tensor temporaries. One arena
+  // per thread (scoring runs concurrently under batched MCTS).
+  thread_local nn::InferenceArena arena;
+  arena.reset();
+  float* x = arena.alloc(gs.size() * kPcsFeatureDim);
   for (std::size_t i = 0; i < gs.size(); ++i) {
     const auto f = pcs_features(gs[i]);
+    float* row = x + i * kPcsFeatureDim;
     for (std::size_t j = 0; j < kPcsFeatureDim; ++j) {
-      x.at(i, j) = static_cast<float>((f[j] - mean_[j]) / stddev_[j]);
+      row[j] = static_cast<float>((f[j] - mean_[j]) / stddev_[j]);
     }
   }
-  const nn::Matrix out = net_.forward(nn::Tensor(x)).value();
+  const float* out = nn::mlp_forward_rows(packed_, arena, x, gs.size());
   std::vector<double> scores(gs.size());
   for (std::size_t i = 0; i < gs.size(); ++i) {
-    scores[i] = static_cast<double>(out.at(i, 0)) * label_scale_;
+    scores[i] = static_cast<double>(out[i]) * label_scale_;
   }
   return scores;
 }

@@ -15,6 +15,7 @@
 
 #include "graph/dcg.hpp"
 #include "mcts/mcts.hpp"
+#include "nn/inference.hpp"
 #include "nn/layers.hpp"
 
 namespace syn::mcts {
@@ -34,12 +35,14 @@ class PcsDiscriminator {
 
   [[nodiscard]] double predict(const graph::Graph& g) const;
 
-  /// Batched prediction: one MLP forward over all graphs (one feature row
-  /// each), so the matmul cost amortizes across the batch. Row i of the
-  /// forward pass performs exactly the per-graph `predict` arithmetic
-  /// (matmuls here are row-independent), so `score_batch(gs)[i] ==
-  /// predict(gs[i])` bitwise; mixed graph sizes are fine (features are
-  /// fixed-dimension) and an empty span yields an empty vector.
+  /// Batched prediction on the fused inference path: one packed-MLP
+  /// forward over all graphs (one feature row each) through a
+  /// thread-local arena — no per-op tensor temporaries. Row i performs
+  /// exactly the per-graph `predict` arithmetic (the fused kernels are
+  /// bitwise-equal to the tensor path and matmuls are row-independent),
+  /// so `score_batch(gs)[i] == predict(gs[i])` bitwise; mixed graph sizes
+  /// are fine (features are fixed-dimension) and an empty span yields an
+  /// empty vector. `predict` stays on the tensor path as the reference.
   [[nodiscard]] std::vector<double> score_batch(
       std::span<const graph::Graph> gs) const;
 
@@ -53,6 +56,7 @@ class PcsDiscriminator {
  private:
   util::Rng rng_;
   nn::Mlp net_;
+  nn::PackedMlp packed_;  // built once per fit(); read-only afterwards
   std::vector<double> mean_, stddev_;  // feature normalization
   double label_scale_ = 1.0;
   bool fitted_ = false;

@@ -1,0 +1,367 @@
+#include "nn/inference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <new>
+#include <string>
+
+#if defined(__linux__)
+#include <unistd.h>
+
+#include <fstream>
+#endif
+
+namespace syn::nn {
+
+// --- cache geometry ----------------------------------------------------------
+
+namespace {
+
+#if defined(__linux__)
+std::size_t sysconf_bytes(int name) {
+  const long v = ::sysconf(name);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+std::string read_sysfs_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return {};
+}
+
+/// Parses "48K" / "2048K" / "2M" / "1234" (sysfs cache `size` format).
+std::size_t parse_cache_size(const std::string& text) {
+  if (text.empty()) return 0;
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i < text.size()) {
+    if (text[i] == 'K' || text[i] == 'k') value *= 1024;
+    if (text[i] == 'M' || text[i] == 'm') value *= 1024 * 1024;
+  }
+  return value;
+}
+
+/// First data-or-unified cache of `level` under cpu0; 0 when absent.
+std::size_t sysfs_cache_bytes(int level) {
+  for (int index = 0; index < 16; ++index) {
+    const std::string base = "/sys/devices/system/cpu/cpu0/cache/index" +
+                             std::to_string(index) + "/";
+    const std::string lvl = read_sysfs_line(base + "level");
+    if (lvl.empty()) break;  // indexes are contiguous
+    if (lvl != std::to_string(level)) continue;
+    const std::string type = read_sysfs_line(base + "type");
+    if (type != "Data" && type != "Unified") continue;
+    return parse_cache_size(read_sysfs_line(base + "size"));
+  }
+  return 0;
+}
+#endif  // __linux__
+
+}  // namespace
+
+CacheGeometry CacheGeometry::detect() {
+  CacheGeometry geo;  // initialized to the conservative fallbacks
+#if defined(__linux__)
+  std::size_t l1 = sysconf_bytes(_SC_LEVEL1_DCACHE_SIZE);
+  if (l1 == 0) l1 = sysfs_cache_bytes(1);
+  if (l1 != 0) geo.l1d_bytes = l1;
+
+  std::size_t l2 = sysconf_bytes(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 == 0) l2 = sysfs_cache_bytes(2);
+  if (l2 != 0) geo.l2_bytes = l2;
+
+  std::size_t line = sysconf_bytes(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (line == 0) {
+    line = parse_cache_size(read_sysfs_line(
+        "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size"));
+  }
+  if (line != 0) geo.line_bytes = line;
+#endif
+  return geo;
+}
+
+const CacheGeometry& CacheGeometry::host() {
+  static const CacheGeometry geo = detect();
+  return geo;
+}
+
+// --- tiled matmul ------------------------------------------------------------
+
+MatmulPlan plan_matmul(std::size_t k_dim, std::size_t n,
+                       const CacheGeometry& geo) {
+  MatmulPlan plan{k_dim, n};
+  if (k_dim == 0 || n == 0) return plan;
+  // Weight-slab budget: half of L1d keeps the slab resident while the
+  // activation row and output strip occupy the other half. For layers too
+  // wide even for an L2-sized slab the j clamp below bounds the strip.
+  const std::size_t budget = std::max<std::size_t>(geo.l1d_bytes / 2, 4096);
+  if (k_dim * n * sizeof(float) <= budget) return plan;  // whole matrix
+  const std::size_t line_floats =
+      std::max<std::size_t>(geo.line_bytes / sizeof(float), 4);
+  plan.k_tile = std::min<std::size_t>(k_dim, 256);
+  std::size_t j = budget / (plan.k_tile * sizeof(float));
+  if (j < line_floats) j = line_floats;
+  if (j >= n) {
+    j = n;
+  } else {
+    j -= j % line_floats;  // full cache lines per slab column block
+  }
+  plan.j_tile = j;
+  return plan;
+}
+
+void matmul_rows(const float* __restrict a, std::size_t rows,
+                 std::size_t k_dim, const float* __restrict b, std::size_t n,
+                 float* __restrict c, const MatmulPlan& plan) {
+  std::fill(c, c + rows * n, 0.0f);
+  const std::size_t kt = plan.k_tile != 0 ? plan.k_tile : k_dim;
+  const std::size_t jt = plan.j_tile != 0 ? plan.j_tile : n;
+  // __restrict on the row pointers is what lets the inner axpy vectorize:
+  // without it the compiler must assume crow aliases brow and re-load per
+  // element. Vectorizing across j never touches a single element's
+  // accumulation order, so bitwise equality with nn::matmul is preserved.
+  if (kt >= k_dim && jt >= n) {
+    // Single-slab fast path: exactly nn::matmul's loops on raw pointers.
+    for (std::size_t i = 0; i < rows; ++i) {
+      const float* __restrict arow = a + i * k_dim;
+      float* __restrict crow = c + i * n;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        const float* __restrict brow = b + k * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  // Tiled: each C element still accumulates k-ascending (k-tiles visited
+  // in order inside its fixed j-block), so results match the fast path —
+  // and nn::matmul — bitwise.
+  for (std::size_t j0 = 0; j0 < n; j0 += jt) {
+    const std::size_t j1 = std::min(j0 + jt, n);
+    for (std::size_t k0 = 0; k0 < k_dim; k0 += kt) {
+      const std::size_t k1 = std::min(k0 + kt, k_dim);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const float* __restrict arow = a + i * k_dim;
+        float* __restrict crow = c + i * n;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float av = arow[k];
+          if (av == 0.0f) continue;
+          const float* __restrict brow = b + k * n;
+          for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void matmul_rows_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  c = Matrix(a.rows(), b.cols());
+  matmul_rows(a.data().data(), a.rows(), a.cols(), b.data().data(), b.cols(),
+              c.data().data(),
+              plan_matmul(a.cols(), b.cols(), CacheGeometry::host()));
+}
+
+// --- arena -------------------------------------------------------------------
+
+float* InferenceArena::alloc(std::size_t count) {
+  if (count == 0) count = 1;  // keep returned pointers valid and distinct
+  while (slab_ < slabs_.size()) {
+    if (slab_floats_[slab_] - offset_ >= count) {
+      float* p = slabs_[slab_].get() + offset_;
+      offset_ += count;
+      return p;
+    }
+    ++slab_;
+    offset_ = 0;
+  }
+  const std::size_t want = std::max<std::size_t>(
+      count, slabs_.empty() ? 4096 : slab_floats_.back() * 2);
+  slabs_.emplace_back(new (std::align_val_t{64}) float[want]);
+  slab_floats_.push_back(want);
+  slab_ = slabs_.size() - 1;
+  offset_ = count;
+  return slabs_.back().get();
+}
+
+float* InferenceArena::alloc_zero(std::size_t count) {
+  float* p = alloc(count);
+  std::fill(p, p + count, 0.0f);
+  return p;
+}
+
+std::size_t InferenceArena::capacity_floats() const {
+  std::size_t total = 0;
+  for (const std::size_t s : slab_floats_) total += s;
+  return total;
+}
+
+// --- packed layers -----------------------------------------------------------
+
+PackedLinear::PackedLinear(const Linear& src, const CacheGeometry& geo)
+    : in_(src.weight_value().rows()),
+      out_(src.weight_value().cols()),
+      w_(new float[in_ * out_]),
+      b_(new float[out_]),
+      plan_(plan_matmul(in_, out_, geo)) {
+  std::copy(src.weight_value().data().begin(), src.weight_value().data().end(),
+            w_.get());
+  std::copy(src.bias_value().data().begin(), src.bias_value().data().end(),
+            b_.get());
+}
+
+float* PackedLinear::forward_rows(InferenceArena& arena, const float* x,
+                                  std::size_t rows) const {
+  assert(packed());
+  float* y = arena.alloc(rows * out_);
+  matmul_rows(x, rows, in_, w_.get(), out_, y, plan_);
+  const float* __restrict bias = b_.get();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* __restrict yrow = y + r * out_;
+    for (std::size_t j = 0; j < out_; ++j) yrow[j] += bias[j];
+  }
+  return y;
+}
+
+PackedMlp::PackedMlp(const Mlp& src, const CacheGeometry& geo)
+    : hidden_(src.hidden_activation()) {
+  layers_.reserve(src.layers().size());
+  for (const Linear& layer : src.layers()) layers_.emplace_back(layer, geo);
+}
+
+namespace {
+
+/// In-place hidden activation with the tensor ops' exact float formulas
+/// (tensor.cpp relu/sigmoid/tanh_t).
+void apply_activation(Activation activation, float* v, std::size_t count) {
+  switch (activation) {
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < count; ++i) v[i] = v[i] > 0.0f ? v[i] : 0.0f;
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < count; ++i) v[i] = std::tanh(v[i]);
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < count; ++i) {
+        v[i] = 1.0f / (1.0f + std::exp(-v[i]));
+      }
+      break;
+    case Activation::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+float* PackedMlp::forward_rows(InferenceArena& arena, const float* x,
+                               std::size_t rows) const {
+  assert(packed());
+  const float* cur = x;
+  float* y = nullptr;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    y = layers_[i].forward_rows(arena, cur, rows);
+    if (i + 1 < layers_.size()) {
+      apply_activation(hidden_, y, rows * layers_[i].out_dim());
+    }
+    cur = y;
+  }
+  return y;
+}
+
+PackedGru::PackedGru(const GruCell& src, const CacheGeometry& geo)
+    : in_(src.xz().weight_value().rows()),
+      hidden_(src.xz().weight_value().cols()),
+      wx3_(new float[in_ * 3 * hidden_]),
+      bx3_(new float[3 * hidden_]),
+      wh2_(new float[hidden_ * 2 * hidden_]),
+      bh2_(new float[2 * hidden_]),
+      whn_(new float[hidden_ * hidden_]),
+      bhn_(new float[hidden_]),
+      plan_x3_(plan_matmul(in_, 3 * hidden_, geo)),
+      plan_h2_(plan_matmul(hidden_, 2 * hidden_, geo)),
+      plan_hn_(plan_matmul(hidden_, hidden_, geo)) {
+  const std::size_t h = hidden_;
+  const auto pack_cols = [](float* dst, std::size_t dst_cols,
+                            std::size_t col0, const Matrix& src_m) {
+    for (std::size_t k = 0; k < src_m.rows(); ++k) {
+      for (std::size_t j = 0; j < src_m.cols(); ++j) {
+        dst[k * dst_cols + col0 + j] = src_m.at(k, j);
+      }
+    }
+  };
+  pack_cols(wx3_.get(), 3 * h, 0 * h, src.xz().weight_value());
+  pack_cols(wx3_.get(), 3 * h, 1 * h, src.xr().weight_value());
+  pack_cols(wx3_.get(), 3 * h, 2 * h, src.xn().weight_value());
+  pack_cols(bx3_.get(), 3 * h, 0 * h, src.xz().bias_value());
+  pack_cols(bx3_.get(), 3 * h, 1 * h, src.xr().bias_value());
+  pack_cols(bx3_.get(), 3 * h, 2 * h, src.xn().bias_value());
+  pack_cols(wh2_.get(), 2 * h, 0 * h, src.hz().weight_value());
+  pack_cols(wh2_.get(), 2 * h, 1 * h, src.hr().weight_value());
+  pack_cols(bh2_.get(), 2 * h, 0 * h, src.hz().bias_value());
+  pack_cols(bh2_.get(), 2 * h, 1 * h, src.hr().bias_value());
+  pack_cols(whn_.get(), h, 0, src.hn().weight_value());
+  pack_cols(bhn_.get(), h, 0, src.hn().bias_value());
+}
+
+float* PackedGru::forward_rows(InferenceArena& arena, const float* x,
+                               const float* h, std::size_t rows) const {
+  assert(packed());
+  const std::size_t hd = hidden_;
+  // One SoA matmul per operand feeds every gate it can: x -> [z|r|n],
+  // h -> [z|r]. Whn waits for r (the tensor path computes hn(r ⊙ h)).
+  float* gx = arena.alloc(rows * 3 * hd);
+  matmul_rows(x, rows, in_, wx3_.get(), 3 * hd, gx, plan_x3_);
+  float* gh = arena.alloc(rows * 2 * hd);
+  matmul_rows(h, rows, hd, wh2_.get(), 2 * hd, gh, plan_h2_);
+
+  float* z = arena.alloc(rows * hd);
+  float* r = arena.alloc(rows * hd);
+  float* rh = arena.alloc(rows * hd);
+  for (std::size_t row = 0; row < rows; ++row) {
+    const float* gxr = gx + row * 3 * hd;
+    const float* ghr = gh + row * 2 * hd;
+    const float* hrow = h + row * hd;
+    float* zrow = z + row * hd;
+    float* rrow = r + row * hd;
+    float* rhrow = rh + row * hd;
+    for (std::size_t j = 0; j < hd; ++j) {
+      // sigmoid((xW + bx) + (hW + bh)) — the exact tensor expression.
+      const float zpre = (gxr[j] + bx3_[j]) + (ghr[j] + bh2_[j]);
+      zrow[j] = 1.0f / (1.0f + std::exp(-zpre));
+      const float rpre = (gxr[hd + j] + bx3_[hd + j]) +
+                         (ghr[hd + j] + bh2_[hd + j]);
+      rrow[j] = 1.0f / (1.0f + std::exp(-rpre));
+      rhrow[j] = rrow[j] * hrow[j];
+    }
+  }
+
+  float* ghn = arena.alloc(rows * hd);
+  matmul_rows(rh, rows, hd, whn_.get(), hd, ghn, plan_hn_);
+
+  float* out = arena.alloc(rows * hd);
+  for (std::size_t row = 0; row < rows; ++row) {
+    const float* gxr = gx + row * 3 * hd;
+    const float* ghnr = ghn + row * hd;
+    const float* hrow = h + row * hd;
+    const float* zrow = z + row * hd;
+    float* orow = out + row * hd;
+    for (std::size_t j = 0; j < hd; ++j) {
+      const float npre = (gxr[2 * hd + j] + bx3_[2 * hd + j]) +
+                         (ghnr[j] + bhn_[j]);
+      const float n = std::tanh(npre);
+      // h' = (n - z ⊙ n) + (z ⊙ h), in the tensor path's exact order.
+      orow[j] = (n - zrow[j] * n) + (zrow[j] * hrow[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace syn::nn

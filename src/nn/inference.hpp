@@ -1,0 +1,234 @@
+// Cache-conscious fused inference engine (no-grad, bitwise-equal to the
+// tensor path).
+//
+// PR 3 established the pattern on the diffusion denoiser: batching alone
+// *lost* to the scalar loop until the per-op tensor temporaries — each one
+// a fresh (rows x cols) allocation streamed through and thrown away — were
+// replaced by fused kernels whose working set stays inside L2. This header
+// generalizes that into a reusable inference path for every model in the
+// repo (discriminator MLP, baseline GRU/MLP samplers, PPA heads):
+//
+//   * CacheGeometry — measured L1d/L2/line sizes (sysconf, then sysfs,
+//     then a conservative fallback), so tile sizes are chosen from the
+//     machine the code actually runs on, not a compile-time guess. The
+//     5GC²ache framing: LLC behaviour is a first-class, *measured*
+//     optimization target.
+//   * InferenceArena — a grow-only bump allocator of 64-byte-aligned
+//     float slabs. Activations for a whole forward (all layers, all
+//     steps of an autoregressive loop) live here; reset()/rewind() make
+//     reuse across ops, steps and calls free. No per-op temporaries.
+//   * PackedLinear / PackedMlp / PackedGru — structure-of-arrays weight
+//     layouts built once from the training modules via the existing
+//     Linear::weight_value() accessors. The GRU packs its three input
+//     gates (and the z/r hidden gates) into single column-concatenated
+//     matrices so one tiled matmul feeds all gates.
+//   * mlp_forward_rows / gru_forward_rows — fused row kernels with
+//     explicitly vectorizable inner loops (contiguous axpy over the
+//     output row) and L2-aware k/j tiling.
+//
+// Bitwise contract: every kernel reproduces the tensor ops' arithmetic
+// exactly — nn::matmul's (i, k ascending with the zero-skip, j) loop
+// order, the same bias/activation expressions on float, the same
+// combination order for GRU gates. Tiling only re-orders work *across*
+// output elements, never the per-element accumulation sequence, so fused
+// results are bit-identical to Mlp::forward / GruCell::forward at every
+// batch size. The tensor path remains the training/autograd route; this
+// is the inference route.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/matrix.hpp"
+
+namespace syn::nn {
+
+/// Measured cache sizes of the host, with conservative fallbacks when the
+/// probe has nothing to say (non-Linux, sandboxed sysfs).
+struct CacheGeometry {
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l2_bytes = 1024 * 1024;
+  std::size_t line_bytes = 64;
+
+  /// Probes sysconf(_SC_LEVEL*_CACHE_SIZE), then
+  /// /sys/devices/system/cpu/cpu0/cache, then falls back to the defaults
+  /// above. Never throws.
+  static CacheGeometry detect();
+  /// detect() once, cached for the process.
+  static const CacheGeometry& host();
+};
+
+/// k/j tile sizes for one (k_dim x n) weight matrix, chosen so the active
+/// weight slab stays resident while activation rows stream through it.
+struct MatmulPlan {
+  std::size_t k_tile = 0;  // rows of B walked per slab
+  std::size_t j_tile = 0;  // columns of B (and C) per slab
+};
+
+/// Picks tiles for C = A (rows x k_dim) * B (k_dim x n): the whole of B
+/// when it fits in half of L1d (activations and the output strip keep the
+/// other half), otherwise a k_tile x j_tile slab sized to that budget
+/// (L2-bounded for very wide layers). Pure function of shape + geometry.
+MatmulPlan plan_matmul(std::size_t k_dim, std::size_t n,
+                       const CacheGeometry& geo);
+
+/// C = A * B, tiled per `plan`, with nn::matmul's exact per-element
+/// accumulation order (k ascending, zero-skip on A entries) — bitwise
+/// equal to the tensor op at any tile size, because k-tiles are visited
+/// in ascending order and j-tiling never touches the accumulation
+/// sequence of a single C element. C is zeroed first; the inner j loop is
+/// a contiguous axpy the compiler vectorizes. A, B and C must not
+/// overlap (__restrict) — the parameter-level qualifier is what lets the
+/// axpy vectorize without runtime aliasing checks.
+void matmul_rows(const float* __restrict a, std::size_t rows,
+                 std::size_t k_dim, const float* __restrict b, std::size_t n,
+                 float* __restrict c, const MatmulPlan& plan);
+
+/// Matrix convenience wrapper (plans from host geometry per call-site
+/// shape): used by the denoiser's fused kernels.
+void matmul_rows_into(Matrix& c, const Matrix& a, const Matrix& b);
+
+/// Grow-only bump allocator of 64-byte-aligned float buffers. All
+/// activations of a fused forward borrow from here; nothing is freed
+/// until the arena dies. reset() rewinds everything; mark()/rewind()
+/// rewind a suffix (for per-block scratch inside a longer-lived layout).
+/// Not thread-safe — use one arena per thread (thread_local at scoring
+/// call sites).
+class InferenceArena {
+ public:
+  struct Mark {
+    std::size_t slab = 0;
+    std::size_t offset = 0;
+  };
+
+  /// Uninitialized `count` floats, 64-byte aligned, valid until the next
+  /// reset()/rewind() past this allocation.
+  float* alloc(std::size_t count);
+  /// Same, zero-filled.
+  float* alloc_zero(std::size_t count);
+
+  [[nodiscard]] Mark mark() const { return {slab_, offset_}; }
+  void rewind(Mark m) {
+    slab_ = m.slab;
+    offset_ = m.offset;
+  }
+  void reset() {
+    slab_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total floats held across slabs (monotone; capacity, not live size).
+  [[nodiscard]] std::size_t capacity_floats() const;
+
+ private:
+  struct AlignedDeleter {
+    void operator()(float* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  using Slab = std::unique_ptr<float[], AlignedDeleter>;
+
+  std::vector<Slab> slabs_;
+  std::vector<std::size_t> slab_floats_;
+  std::size_t slab_ = 0;    // current slab index
+  std::size_t offset_ = 0;  // floats used in current slab
+};
+
+/// One affine layer, weights copied once into a 64-byte-aligned buffer
+/// with a tile plan precomputed for its shape.
+class PackedLinear {
+ public:
+  PackedLinear() = default;
+  explicit PackedLinear(const Linear& src,
+                        const CacheGeometry& geo = CacheGeometry::host());
+
+  [[nodiscard]] std::size_t in_dim() const { return in_; }
+  [[nodiscard]] std::size_t out_dim() const { return out_; }
+  [[nodiscard]] bool packed() const { return out_ != 0; }
+
+  /// y = x W + b for `rows` rows; y borrows from the arena. Bitwise equal
+  /// to Linear::forward.
+  float* forward_rows(InferenceArena& arena, const float* x,
+                      std::size_t rows) const;
+
+ private:
+  std::size_t in_ = 0, out_ = 0;
+  std::unique_ptr<float[]> w_;  // in x out, row-major (same as Matrix)
+  std::unique_ptr<float[]> b_;  // out
+  MatmulPlan plan_;
+};
+
+/// MLP packed for fused inference: per-layer PackedLinear + the hidden
+/// activation, applied with the tensor ops' exact scalar formulas.
+class PackedMlp {
+ public:
+  PackedMlp() = default;
+  explicit PackedMlp(const Mlp& src,
+                     const CacheGeometry& geo = CacheGeometry::host());
+
+  [[nodiscard]] bool packed() const { return !layers_.empty(); }
+  [[nodiscard]] std::size_t in_dim() const { return layers_.front().in_dim(); }
+  [[nodiscard]] std::size_t out_dim() const {
+    return layers_.back().out_dim();
+  }
+
+  /// rows x out_dim() output in the arena; bitwise equal to Mlp::forward
+  /// on the same rows. rows == 0 is a no-op returning a valid (empty)
+  /// allocation.
+  float* forward_rows(InferenceArena& arena, const float* x,
+                      std::size_t rows) const;
+
+ private:
+  std::vector<PackedLinear> layers_;
+  Activation hidden_ = Activation::kRelu;
+};
+
+/// GRU cell packed structure-of-arrays: the three input-gate weight
+/// matrices live column-concatenated as [Wxz | Wxr | Wxn] (one tiled
+/// matmul per step feeds every gate), the hidden z/r gates as
+/// [Whz | Whr]; Whn stays separate because the tensor path multiplies r
+/// into h *before* that matmul. Column concatenation never changes a
+/// single output element's accumulation order, so gates are bitwise equal
+/// to the six per-gate Linear::forward calls.
+class PackedGru {
+ public:
+  PackedGru() = default;
+  explicit PackedGru(const GruCell& src,
+                     const CacheGeometry& geo = CacheGeometry::host());
+
+  [[nodiscard]] bool packed() const { return hidden_ != 0; }
+  [[nodiscard]] std::size_t input_dim() const { return in_; }
+  [[nodiscard]] std::size_t hidden_dim() const { return hidden_; }
+
+  /// h' for `rows` rows (x: rows x input, h: rows x hidden), borrowed
+  /// from the arena; bitwise equal to GruCell::forward.
+  float* forward_rows(InferenceArena& arena, const float* x, const float* h,
+                      std::size_t rows) const;
+
+ private:
+  std::size_t in_ = 0, hidden_ = 0;
+  std::unique_ptr<float[]> wx3_;  // in x 3H  [z | r | n]
+  std::unique_ptr<float[]> bx3_;  // 3H
+  std::unique_ptr<float[]> wh2_;  // H x 2H   [z | r]
+  std::unique_ptr<float[]> bh2_;  // 2H
+  std::unique_ptr<float[]> whn_;  // H x H
+  std::unique_ptr<float[]> bhn_;  // H
+  MatmulPlan plan_x3_, plan_h2_, plan_hn_;
+};
+
+/// Free-function spellings of the fused forwards (the names the rest of
+/// the repo rewires onto).
+inline float* mlp_forward_rows(const PackedMlp& mlp, InferenceArena& arena,
+                               const float* x, std::size_t rows) {
+  return mlp.forward_rows(arena, x, rows);
+}
+inline float* gru_forward_rows(const PackedGru& gru, InferenceArena& arena,
+                               const float* x, const float* h,
+                               std::size_t rows) {
+  return gru.forward_rows(arena, x, h, rows);
+}
+
+}  // namespace syn::nn

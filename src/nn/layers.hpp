@@ -80,6 +80,15 @@ class GruCell : public Module {
   [[nodiscard]] std::size_t hidden_size() const { return hidden_size_; }
   void collect_parameters(std::vector<Tensor>& out) const override;
 
+  /// Per-gate affine layers, for fused inference kernels that pack the
+  /// weights structure-of-arrays (see Linear::weight_value).
+  [[nodiscard]] const Linear& xz() const { return xz_; }
+  [[nodiscard]] const Linear& hz() const { return hz_; }
+  [[nodiscard]] const Linear& xr() const { return xr_; }
+  [[nodiscard]] const Linear& hr() const { return hr_; }
+  [[nodiscard]] const Linear& xn() const { return xn_; }
+  [[nodiscard]] const Linear& hn() const { return hn_; }
+
  private:
   Linear xz_, hz_, xr_, hr_, xn_, hn_;
   std::size_t hidden_size_ = 0;

@@ -47,8 +47,9 @@ ExperimentResult run_ppa_experiment(
       cfg.seed += target * 101 + static_cast<std::uint64_t>(e) * 9973;
       RandomForest forest(cfg);
       forest.fit(x_train, y);
+      const std::vector<double> pred = forest.predict_batch(x_test);
       for (std::size_t i = 0; i < x_test.size(); ++i) {
-        predicted[i] += forest.predict(x_test[i]) / kEnsemble;
+        predicted[i] += pred[i] / kEnsemble;
       }
     }
     result.targets[target] = {pearson_r(truth, predicted),

@@ -80,6 +80,26 @@ double RidgeRegression::predict(const std::vector<double>& x) const {
   return out;
 }
 
+std::vector<double> RidgeRegression::predict_batch(
+    const std::vector<std::vector<double>>& x) const {
+  if (weights_.empty()) throw std::logic_error("RidgeRegression: not fitted");
+  const std::size_t d = mean_.size();
+  std::vector<double> out(x.size());
+  const double* w = weights_.data();
+  const double* mean = mean_.data();
+  const double* stddev = stddev_.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double* row = x[i].data();
+    // Identical expression and j order to predict(): bitwise equal.
+    double acc = weights_.back();
+    for (std::size_t j = 0; j < d; ++j) {
+      acc += w[j] * (row[j] - mean[j]) / stddev[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
 // --- random forest -----------------------------------------------------------
 
 RandomForest::RandomForest(ForestConfig config) : config_(config) {}
@@ -207,6 +227,31 @@ double RandomForest::predict(const std::vector<double>& x) const {
     sum += tree.nodes[static_cast<std::size_t>(idx)].value;
   }
   return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_batch(
+    const std::vector<std::vector<double>>& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> out(x.size(), 0.0);
+  // Tree-outer, row-inner: one tree's node array stays L1-resident while
+  // the whole batch traverses it. Each row still sums its leaves in tree
+  // order and divides once, so results match predict() bitwise.
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double* row = x[i].data();
+      int idx = 0;
+      while (tree.nodes[static_cast<std::size_t>(idx)].feature >= 0) {
+        const auto& node = tree.nodes[static_cast<std::size_t>(idx)];
+        idx = row[static_cast<std::size_t>(node.feature)] <= node.threshold
+                  ? node.left
+                  : node.right;
+      }
+      out[i] += tree.nodes[static_cast<std::size_t>(idx)].value;
+    }
+  }
+  const double inv_count = static_cast<double>(trees_.size());
+  for (double& v : out) v /= inv_count;
+  return out;
 }
 
 }  // namespace syn::ppa

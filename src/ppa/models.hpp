@@ -20,7 +20,11 @@ class Regressor {
   [[nodiscard]] virtual double predict(
       const std::vector<double>& x) const = 0;
 
-  [[nodiscard]] std::vector<double> predict_all(
+  /// Batched prediction. The default is the scalar loop; concrete models
+  /// override it with fused batch kernels that are bitwise-equal to this
+  /// loop (same per-row accumulation order), so callers may use either
+  /// path interchangeably.
+  [[nodiscard]] virtual std::vector<double> predict_batch(
       const std::vector<std::vector<double>>& x) const {
     std::vector<double> out;
     out.reserve(x.size());
@@ -36,6 +40,11 @@ class RidgeRegression : public Regressor {
   void fit(const std::vector<std::vector<double>>& x,
            const std::vector<double>& y) override;
   [[nodiscard]] double predict(const std::vector<double>& x) const override;
+  /// Fused batch path: weights stay register/L1-resident across rows.
+  /// Bitwise equal to the scalar loop (identical per-row expression and
+  /// j-ascending accumulation).
+  [[nodiscard]] std::vector<double> predict_batch(
+      const std::vector<std::vector<double>>& x) const override;
 
  private:
   double lambda_;
@@ -58,6 +67,12 @@ class RandomForest : public Regressor {
   void fit(const std::vector<std::vector<double>>& x,
            const std::vector<double>& y) override;
   [[nodiscard]] double predict(const std::vector<double>& x) const override;
+  /// Fused batch path, traversed tree-outer/row-inner so each tree's node
+  /// array stays hot in L1 across the whole batch. Per row, leaves still
+  /// accumulate in tree order with one final division — bitwise equal to
+  /// the scalar loop.
+  [[nodiscard]] std::vector<double> predict_batch(
+      const std::vector<std::vector<double>>& x) const override;
 
  private:
   struct Node {

@@ -79,22 +79,24 @@ Json MetricsRegistry::snapshot() const {
   for (const auto& [name, track] : tracks_) {
     // A binned quantile is only accurate to the bin width; clamping into
     // the observed [min, max] keeps e.g. p50 of three sub-millisecond
-    // samples from reading as half a (wide) first bin.
-    const auto quantile = [&track](double q) {
-      return track.count == 0
-                 ? 0.0
-                 : std::clamp(util::histogram_quantile(track.hist, q),
-                              track.min, track.max);
-    };
+    // samples from reading as half a (wide) first bin. One cumulative
+    // walk answers all three quantiles (histogram_quantiles) instead of
+    // rescanning the bins per q.
+    constexpr double kQs[] = {0.50, 0.95, 0.99};
+    std::vector<double> ps(3, 0.0);
+    if (track.count != 0) {
+      ps = util::histogram_quantiles(track.hist, kQs);
+      for (double& p : ps) p = std::clamp(p, track.min, track.max);
+    }
     Json t;
     t.set("count", static_cast<std::uint64_t>(track.count));
     t.set("mean", track.count ? track.sum / static_cast<double>(track.count)
                               : 0.0);
     t.set("min", track.min);
     t.set("max", track.max);
-    t.set("p50", quantile(0.50));
-    t.set("p95", quantile(0.95));
-    t.set("p99", quantile(0.99));
+    t.set("p50", ps[0]);
+    t.set("p95", ps[1]);
+    t.set("p99", ps[2]);
     latency.set(name, std::move(t));
   }
   Json json;

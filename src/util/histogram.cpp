@@ -49,6 +49,18 @@ double percentile(std::span<const double> values, double q) {
   return sorted_percentile(sorted, std::clamp(q, 0.0, 1.0));
 }
 
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> qs) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    out.push_back(sorted_percentile(sorted, std::clamp(q, 0.0, 1.0)));
+  }
+  return out;
+}
+
 double histogram_quantile(const Histogram& hist, double q) {
   if (hist.total() == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -65,6 +77,40 @@ double histogram_quantile(const Histogram& hist, double q) {
   return hist.bin_hi(hist.bins() - 1);
 }
 
+std::vector<double> histogram_quantiles(const Histogram& hist,
+                                        std::span<const double> qs) {
+  std::vector<double> out(qs.size(), 0.0);
+  if (hist.total() == 0) return out;
+  // The first bin whose cumulative count crosses the target is monotone
+  // in q, so answering qs in ascending order lets one walk resume where
+  // the previous stopped — identical per-q results to
+  // histogram_quantile() (same clamp, crossing test, interpolation).
+  std::vector<std::size_t> order(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&qs](std::size_t a, std::size_t b) { return qs[a] < qs[b]; });
+  std::size_t bin = 0;
+  double cumulative = 0.0;
+  for (const std::size_t i : order) {
+    const double q = std::clamp(qs[i], 0.0, 1.0);
+    const double target = q * static_cast<double>(hist.total());
+    while (bin < hist.bins()) {
+      const auto in_bin = static_cast<double>(hist.count(bin));
+      if (cumulative + in_bin >= target && in_bin > 0.0) break;
+      cumulative += in_bin;
+      ++bin;
+    }
+    if (bin == hist.bins()) {
+      out[i] = hist.bin_hi(hist.bins() - 1);
+    } else {
+      const auto in_bin = static_cast<double>(hist.count(bin));
+      const double frac = (target - cumulative) / in_bin;
+      out[i] = hist.bin_lo(bin) + frac * (hist.bin_hi(bin) - hist.bin_lo(bin));
+    }
+  }
+  return out;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
@@ -72,11 +118,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double value) {
+  if (std::isnan(value)) {
+    // NaN carries no position, so no bin is right for it: drop it from
+    // the bins and total() but keep it visible via nan_count().
+    ++nan_count_;
+    return;
+  }
   const double t = (value - lo_) / (hi_ - lo_);
-  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  // Clamp in floating point BEFORE the integer cast: for values far
+  // outside [lo, hi] (a wild 1e300 latency sample) t * bins overflows the
+  // integer's range and the cast is UB. After the clamp the cast operand
+  // is always in [0, bins - 1]. ±inf clamps into the edge bins too.
+  const double scaled =
+      std::clamp(t * static_cast<double>(counts_.size()), 0.0,
+                 static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(scaled)];
   ++total_;
 }
 

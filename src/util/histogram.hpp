@@ -28,8 +28,18 @@ Summary summarize(std::span<const double> values);
 /// of raw latency samples through this.
 double percentile(std::span<const double> values, double q);
 
-/// Fixed-bin histogram over [lo, hi]; values outside are clamped into the
-/// first / last bin so nothing is silently dropped.
+/// Multi-quantile variant: sorts the sample ONCE and evaluates every q
+/// against it, where `percentile` copies + sorts per call (three sorts
+/// for a p50/p95/p99 track). result[i] == percentile(values, qs[i])
+/// exactly; qs need not be sorted.
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> qs);
+
+/// Fixed-bin histogram over [lo, hi]; finite values outside are clamped
+/// into the first / last bin so nothing is silently dropped. NaN carries
+/// no position, so it is dropped from the bins (and from total()) but
+/// tallied in nan_count() — quantiles stay meaningful and the anomaly
+/// stays visible.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -40,6 +50,8 @@ class Histogram {
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_[bin]; }
   [[nodiscard]] std::size_t total() const { return total_; }
+  /// NaN samples seen by add(); never part of total() or any bin.
+  [[nodiscard]] std::size_t nan_count() const { return nan_count_; }
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
 
@@ -50,6 +62,7 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_count_ = 0;
 };
 
 /// Approximate quantile from binned counts: finds the bin where the
@@ -57,6 +70,13 @@ class Histogram {
 /// Resolution is the bin width — good enough for latency tracks whose
 /// exact samples are not retained. 0 for an empty histogram.
 double histogram_quantile(const Histogram& hist, double q);
+
+/// Multi-quantile variant: one cumulative walk over the bins answers
+/// every q (the crossing bin is monotone in q), where per-q calls rescan
+/// from bin 0 each time. result[i] == histogram_quantile(hist, qs[i])
+/// exactly; qs need not be sorted.
+std::vector<double> histogram_quantiles(const Histogram& hist,
+                                        std::span<const double> qs);
 
 /// Exact 1-Wasserstein distance between two empirical 1-D distributions
 /// (average absolute difference of matched order statistics; the standard

@@ -1,0 +1,85 @@
+#include "util/perf_counters.hpp"
+
+#if defined(__linux__)
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace syn::util {
+
+namespace {
+
+int open_counter(std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // group enabled via the leader
+  attr.exclude_kernel = 1;               // paranoid <= 2 friendly
+  attr.exclude_hv = 1;
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, 0 /*self*/,
+                                    -1 /*any cpu*/, group_fd, 0));
+}
+
+std::uint64_t read_counter(int fd) {
+  std::uint64_t value = 0;
+  if (fd < 0) return 0;
+  if (::read(fd, &value, sizeof value) != sizeof value) return 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCacheCounters::PerfCacheCounters() {
+  fd_misses_ = open_counter(PERF_COUNT_HW_CACHE_MISSES, -1);
+  if (fd_misses_ < 0) return;
+  fd_references_ = open_counter(PERF_COUNT_HW_CACHE_REFERENCES, fd_misses_);
+  if (fd_references_ < 0) {
+    ::close(fd_misses_);
+    fd_misses_ = -1;
+  }
+}
+
+PerfCacheCounters::~PerfCacheCounters() {
+  if (fd_references_ >= 0) ::close(fd_references_);
+  if (fd_misses_ >= 0) ::close(fd_misses_);
+}
+
+void PerfCacheCounters::start() {
+  if (!available()) return;
+  ::ioctl(fd_misses_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(fd_misses_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCacheCounters::stop() {
+  if (!available()) return;
+  ::ioctl(fd_misses_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  misses_ += read_counter(fd_misses_);
+  references_ += read_counter(fd_references_);
+}
+
+void PerfCacheCounters::reset() {
+  misses_ = 0;
+  references_ = 0;
+}
+
+}  // namespace syn::util
+
+#else  // !__linux__
+
+namespace syn::util {
+
+PerfCacheCounters::PerfCacheCounters() = default;
+PerfCacheCounters::~PerfCacheCounters() = default;
+void PerfCacheCounters::start() {}
+void PerfCacheCounters::stop() {}
+void PerfCacheCounters::reset() {}
+
+}  // namespace syn::util
+
+#endif

@@ -1,0 +1,47 @@
+// Self-measured hardware cache counters via perf_event_open.
+//
+// The bench harness uses these to put a cache-miss column next to every
+// hot-path timing row: the fused inference engine's whole point is LLC
+// behaviour, so it is measured, not assumed. Counting is per-process,
+// user-space only (exclude_kernel/exclude_hv), which works at
+// perf_event_paranoid <= 2 without privileges. Where perf events are
+// unavailable (containers without the syscall, non-Linux, paranoid >= 3)
+// `available()` is false and callers skip the column — never an error.
+#pragma once
+
+#include <cstdint>
+
+namespace syn::util {
+
+/// One grouped pair of hardware counters: cache misses + cache
+/// references (LLC-level on most CPUs). start()/stop() bracket a
+/// measured region; counts accumulate across multiple start/stop pairs
+/// until read. Not thread-safe; counts this thread's process-wide events.
+class PerfCacheCounters {
+ public:
+  PerfCacheCounters();
+  ~PerfCacheCounters();
+  PerfCacheCounters(const PerfCacheCounters&) = delete;
+  PerfCacheCounters& operator=(const PerfCacheCounters&) = delete;
+
+  /// False when the kernel refused the events (sandbox, paranoid level,
+  /// missing PMU) — all other calls are harmless no-ops then.
+  [[nodiscard]] bool available() const { return fd_misses_ >= 0; }
+
+  void start();
+  void stop();
+
+  /// Accumulated counts over all start()/stop() windows so far.
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t references() const { return references_; }
+
+  void reset();
+
+ private:
+  int fd_misses_ = -1;     // group leader
+  int fd_references_ = -1;
+  std::uint64_t misses_ = 0;
+  std::uint64_t references_ = 0;
+};
+
+}  // namespace syn::util

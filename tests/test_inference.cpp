@@ -1,0 +1,234 @@
+// Fused-vs-tensor bitwise equivalence suite for the inference engine
+// (nn/inference.hpp): tiled matmul, arena lifecycle, PackedMlp/PackedGru
+// across every Activation, batch sizes 0/1/odd, mixed widths, and shared
+// packed weights across threads (TSan tier).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "nn/inference.hpp"
+#include "nn/layers.hpp"
+#include "nn/matrix.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace syn::nn {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  // Sprinkle exact zeros so the zero-skip branch in the matmul kernels is
+  // exercised (it changes the accumulation *sequence* if mishandled).
+  for (std::size_t i = 0; i < m.size(); i += 7) m[i] = 0.0f;
+  return m;
+}
+
+void expect_bitwise_equal(const float* fused, const Matrix& tensor) {
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    EXPECT_EQ(fused[i], tensor[i]) << "element " << i;
+  }
+}
+
+TEST(CacheGeometry, DetectReturnsSaneValues) {
+  const CacheGeometry geo = CacheGeometry::detect();
+  EXPECT_GE(geo.l1d_bytes, 4u * 1024u);
+  EXPECT_GE(geo.l2_bytes, geo.l1d_bytes);
+  EXPECT_GE(geo.line_bytes, 16u);
+  EXPECT_EQ(geo.line_bytes & (geo.line_bytes - 1), 0u);  // power of two
+}
+
+TEST(PlanMatmul, SmallMatrixStaysWhole) {
+  const CacheGeometry geo;  // defaults: 32K L1d
+  const MatmulPlan plan = plan_matmul(8, 16, geo);
+  EXPECT_EQ(plan.k_tile, 8u);
+  EXPECT_EQ(plan.j_tile, 16u);
+}
+
+TEST(PlanMatmul, LargeMatrixTilesToCacheLines) {
+  CacheGeometry tiny;
+  tiny.l1d_bytes = 1024;
+  tiny.l2_bytes = 4096;
+  tiny.line_bytes = 64;
+  const MatmulPlan plan = plan_matmul(513, 129, tiny);
+  EXPECT_LT(plan.k_tile, 513u);
+  EXPECT_LT(plan.j_tile, 129u);
+  EXPECT_EQ(plan.j_tile % (tiny.line_bytes / sizeof(float)), 0u);
+}
+
+TEST(MatmulRows, TiledMatchesTensorMatmulBitwise) {
+  util::Rng rng(301);
+  // Shape chosen to cross both tile boundaries with ragged remainders.
+  const Matrix a = random_matrix(37, 513, rng);
+  const Matrix b = random_matrix(513, 129, rng);
+  const Matrix reference = matmul(a, b);
+
+  CacheGeometry tiny;
+  tiny.l1d_bytes = 1024;
+  tiny.l2_bytes = 4096;
+  tiny.line_bytes = 64;
+  for (const MatmulPlan& plan :
+       {plan_matmul(513, 129, tiny), plan_matmul(513, 129, CacheGeometry{}),
+        MatmulPlan{}}) {  // tiled, whole-matrix, and zero-fallback plans
+    std::vector<float> c(a.rows() * b.cols(), -1.0f);
+    matmul_rows(a.data().data(), a.rows(), a.cols(), b.data().data(), b.cols(),
+                c.data(), plan);
+    expect_bitwise_equal(c.data(), reference);
+  }
+}
+
+TEST(Arena, GrowsReusesAndRewinds) {
+  InferenceArena arena;
+  float* first = arena.alloc(100);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(first) % 64, 0u);
+  const InferenceArena::Mark mark = arena.mark();
+  float* scratch = arena.alloc(50);
+  arena.rewind(mark);
+  EXPECT_EQ(arena.alloc(50), scratch);  // rewound space is handed back
+
+  arena.reset();
+  EXPECT_EQ(arena.alloc(100), first);  // reset reuses from the start
+
+  // Capacity grows monotonically and alloc(0) stays valid and distinct.
+  const std::size_t cap = arena.capacity_floats();
+  float* big = arena.alloc(100000);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.capacity_floats(), cap + 100000);
+  EXPECT_NE(arena.alloc(0), arena.alloc(0));
+}
+
+TEST(PackedMlp, BitwiseEqualsTensorForwardAcrossActivations) {
+  for (const Activation act : {Activation::kRelu, Activation::kTanh,
+                               Activation::kSigmoid, Activation::kNone}) {
+    util::Rng rng(401 + static_cast<int>(act));
+    const Mlp mlp({9, 17, 8, 3}, rng, act);
+    const PackedMlp packed(mlp);
+    InferenceArena arena;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{5}}) {
+      const Matrix x = random_matrix(batch, 9, rng);
+      NoGradGuard guard;
+      const Matrix reference = mlp.forward(Tensor(x)).value();
+      arena.reset();
+      const float* fused =
+          mlp_forward_rows(packed, arena, x.data().data(), batch);
+      expect_bitwise_equal(fused, reference);
+    }
+  }
+}
+
+TEST(PackedMlp, EmptyBatchIsSafe) {
+  util::Rng rng(402);
+  const Mlp mlp({4, 6, 2}, rng);
+  const PackedMlp packed(mlp);
+  InferenceArena arena;
+  // The tensor path asserts on B=0; the fused path must just no-op.
+  EXPECT_NE(mlp_forward_rows(packed, arena, nullptr, 0), nullptr);
+}
+
+TEST(PackedMlp, MixedWidthsAndForcedTilingStayBitwise) {
+  util::Rng rng(403);
+  CacheGeometry tiny;  // forces the tiled matmul path on every layer
+  tiny.l1d_bytes = 1024;
+  tiny.l2_bytes = 4096;
+  tiny.line_bytes = 64;
+  for (const std::vector<std::size_t>& dims :
+       {std::vector<std::size_t>{3, 31, 1},
+        std::vector<std::size_t>{16, 301, 64, 2},
+        std::vector<std::size_t>{1, 5, 7}}) {
+    const Mlp mlp(dims, rng, Activation::kTanh);
+    for (const CacheGeometry& geo : {tiny, CacheGeometry::host()}) {
+      const PackedMlp packed(mlp, geo);
+      InferenceArena arena;
+      const Matrix x = random_matrix(7, dims.front(), rng);
+      NoGradGuard guard;
+      const Matrix reference = mlp.forward(Tensor(x)).value();
+      const float* fused =
+          mlp_forward_rows(packed, arena, x.data().data(), x.rows());
+      expect_bitwise_equal(fused, reference);
+    }
+  }
+}
+
+TEST(PackedMlp, ArenaReuseAcrossCallsDoesNotChangeResults) {
+  util::Rng rng(404);
+  const Mlp mlp({8, 20, 4}, rng, Activation::kSigmoid);
+  const PackedMlp packed(mlp);
+  const Matrix x = random_matrix(5, 8, rng);
+
+  InferenceArena arena;
+  const float* out = mlp_forward_rows(packed, arena, x.data().data(), 5);
+  const std::vector<float> first(out, out + 5 * 4);
+
+  // Dirty the arena with a differently-shaped forward, then rerun.
+  const Matrix other = random_matrix(11, 8, rng);
+  arena.reset();
+  (void)mlp_forward_rows(packed, arena, other.data().data(), 11);
+  arena.reset();
+  out = mlp_forward_rows(packed, arena, x.data().data(), 5);
+  for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(out[i], first[i]);
+}
+
+TEST(PackedGru, BitwiseEqualsTensorForwardMultiStep) {
+  util::Rng rng(405);
+  const GruCell cell(7, 12, rng);
+  const PackedGru packed(cell);
+  EXPECT_EQ(packed.input_dim(), 7u);
+  EXPECT_EQ(packed.hidden_dim(), 12u);
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{3}}) {
+    Matrix h_tensor(batch, 12);
+    std::vector<float> h_fused(batch * 12, 0.0f);
+    InferenceArena arena;
+    for (int step = 0; step < 4; ++step) {
+      const Matrix x = random_matrix(batch, 7, rng);
+      NoGradGuard guard;
+      h_tensor = cell.forward(Tensor(x), Tensor(h_tensor)).value();
+      arena.reset();
+      const float* next = gru_forward_rows(packed, arena, x.data().data(),
+                                           h_fused.data(), batch);
+      expect_bitwise_equal(next, h_tensor);
+      std::copy(next, next + h_fused.size(), h_fused.begin());
+    }
+  }
+}
+
+// Shared read-only packed weights, one arena per thread: the concurrency
+// contract of every scoring call site. Run under TSan in CI.
+TEST(Inference, SharedPackedModelAcrossThreadsMatchesTensor) {
+  util::Rng rng(406);
+  const Mlp mlp({6, 24, 4}, rng);
+  const PackedMlp packed(mlp);
+
+  constexpr int kThreads = 4;
+  std::vector<Matrix> inputs;
+  std::vector<Matrix> references;
+  for (int t = 0; t < kThreads; ++t) {
+    inputs.push_back(random_matrix(3, 6, rng));
+    NoGradGuard guard;
+    references.push_back(mlp.forward(Tensor(inputs.back())).value());
+  }
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      InferenceArena arena;  // per-thread, like the rewired call sites
+      for (int iter = 0; iter < 32; ++iter) {
+        arena.reset();
+        const float* out =
+            mlp_forward_rows(packed, arena, inputs[t].data().data(), 3);
+        for (std::size_t i = 0; i < references[t].size(); ++i) {
+          if (out[i] != references[t][i]) ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+}  // namespace
+}  // namespace syn::nn

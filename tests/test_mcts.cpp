@@ -250,7 +250,9 @@ TEST(Discriminator, ScoreBatchMatchesScalarPredict) {
   const std::vector<double> scores = disc.score_batch(batch);
   ASSERT_EQ(scores.size(), batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    EXPECT_NEAR(scores[i], disc.predict(batch[i]), 1e-9) << "graph " << i;
+    // Bitwise: score_batch runs the fused inference path, predict the
+    // tensor path — the kernels guarantee identical arithmetic.
+    EXPECT_EQ(scores[i], disc.predict(batch[i])) << "graph " << i;
   }
 
   // Empty and singleton batches.

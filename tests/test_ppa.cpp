@@ -124,6 +124,38 @@ TEST(Forest, FitsNonlinearFunction) {
   EXPECT_LT(err / 7.0, 0.4);
 }
 
+// The fused batch paths must be bitwise-equal to the scalar loops (same
+// per-row accumulation order); PPA labeling routes through them.
+TEST(Regressors, PredictBatchBitwiseEqualsScalarLoop) {
+  util::Rng rng(73);
+  std::vector<std::vector<double>> x_train, x_test;
+  std::vector<double> y;
+  for (int i = 0; i < 80; ++i) {
+    const double a = rng.gaussian(), b = rng.gaussian(), c = rng.gaussian();
+    x_train.push_back({a, b, c});
+    y.push_back(2.0 * a - b + 0.5 * c * c);
+  }
+  for (int i = 0; i < 33; ++i) {  // odd batch size
+    x_test.push_back({rng.gaussian(), rng.gaussian(), rng.gaussian()});
+  }
+
+  RidgeRegression ridge(0.1);
+  ridge.fit(x_train, y);
+  RandomForest forest({.trees = 25, .max_depth = 5, .seed = 13});
+  forest.fit(x_train, y);
+
+  for (const Regressor* model :
+       {static_cast<const Regressor*>(&ridge),
+        static_cast<const Regressor*>(&forest)}) {
+    const auto batch = model->predict_batch(x_test);
+    ASSERT_EQ(batch.size(), x_test.size());
+    for (std::size_t i = 0; i < x_test.size(); ++i) {
+      EXPECT_EQ(batch[i], model->predict(x_test[i])) << "row " << i;
+    }
+    EXPECT_TRUE(model->predict_batch({}).empty());
+  }
+}
+
 TEST(Forest, DeterministicForFixedSeed) {
   std::vector<std::vector<double>> x{{1}, {2}, {3}, {4}, {5}, {6}};
   std::vector<double> y{1, 4, 9, 16, 25, 36};

@@ -3,9 +3,12 @@
 // daemon protocol.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "util/histogram.hpp"
 #include "util/json.hpp"
@@ -174,6 +177,70 @@ TEST(Histogram, RenderContainsCounts) {
   const std::string s = h.render(10);
   EXPECT_NE(s.find(" 1"), std::string::npos);
   EXPECT_NE(s.find(" 2"), std::string::npos);
+}
+
+// Regression: add() used to cast t * bins to an integer BEFORE clamping —
+// UB for NaN and for samples far outside [lo, hi] (the cast of 1e300
+// overflows any integer type). Runs under the UBSan CI tier, which traps
+// the old behaviour.
+TEST(Histogram, WildAndNonFiniteSamplesAreSafe) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(1e300);   // would overflow the old pre-clamp integer cast
+  h.add(-1e300);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(9), 2u);  // huge values clamp into the last bin
+  EXPECT_EQ(h.count(0), 2u);  // hugely negative into the first
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.nan_count(), 0u);
+
+  // NaN has no position: dropped from bins and total, tallied separately.
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.count(b);
+  EXPECT_EQ(binned, 4u);
+
+  // In-range values still bin exactly as before.
+  h.add(55.0);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Percentiles, SingleSortMatchesPerCallPercentile) {
+  Rng rng(77);
+  std::vector<double> samples;
+  for (int i = 0; i < 257; ++i) samples.push_back(rng.uniform() * 1000.0);
+  const std::vector<double> qs{0.99, 0.5, 0.0, 0.95, 1.0, 0.25};  // unsorted
+  const auto batch = percentiles(samples, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(batch[i], percentile(samples, qs[i])) << "q=" << qs[i];
+  }
+  EXPECT_EQ(percentiles(std::vector<double>{}, qs).size(), qs.size());
+}
+
+TEST(Percentiles, HistogramQuantilesMatchPerCallWalk) {
+  Histogram h(0.0, 50.0, 25);
+  Rng rng(78);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform() * 60.0 - 5.0);
+  const std::vector<double> qs{0.99, 0.5, 0.95, 0.0, 1.0};  // unsorted
+  const auto batch = histogram_quantiles(h, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(batch[i], histogram_quantile(h, qs[i])) << "q=" << qs[i];
+  }
+  // Sparse histogram (empty bins between occupied ones) and empty hist.
+  Histogram sparse(0.0, 10.0, 10);
+  sparse.add(0.5);
+  sparse.add(9.5);
+  for (double q : {0.0, 0.3, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(histogram_quantiles(sparse, {&q, 1})[0],
+              histogram_quantile(sparse, q));
+  }
+  const Histogram empty(0.0, 1.0, 4);
+  for (double v : histogram_quantiles(empty, qs)) EXPECT_EQ(v, 0.0);
 }
 
 /// Property sweep: W1 is a metric (symmetry, identity, triangle-ish).
