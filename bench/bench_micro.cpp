@@ -22,6 +22,7 @@
 #include "graph/node_type.hpp"
 #include "mcts/discriminator.hpp"
 #include "mcts/mcts.hpp"
+#include "nn/simd.hpp"
 #include "rtl/generators.hpp"
 #include "server/metrics.hpp"
 #include "service/dataset_sink.hpp"
@@ -145,6 +146,7 @@ void BM_DenoiserStep(benchmark::State& state) {
     const auto h = den.encode(features, parents, 3);
     benchmark::DoNotOptimize(den.decode(h, pairs, bits, 3));
   }
+  state.SetLabel(nn::active_simd_level_name());
 }
 BENCHMARK(BM_DenoiserStep);
 
@@ -193,6 +195,7 @@ void BM_DiffusionSample(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kChains));
+  state.SetLabel(nn::active_simd_level_name());
 }
 BENCHMARK(BM_DiffusionSample)->Arg(1)->Arg(8)->Arg(32);
 
@@ -323,6 +326,7 @@ void BM_GenerateBatch(benchmark::State& state, const char* backend) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kItems));
+  state.SetLabel(nn::active_simd_level_name());
 }
 BENCHMARK_CAPTURE(BM_GenerateBatch, syncircuit, "syncircuit");
 BENCHMARK_CAPTURE(BM_GenerateBatch, graphrnn, "graphrnn");
@@ -362,6 +366,7 @@ void BM_DiscriminatorScore(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch.size()));
+  state.SetLabel(nn::active_simd_level_name());
 }
 BENCHMARK(BM_DiscriminatorScore)->Arg(1)->Arg(8)->Arg(32);
 
@@ -448,3 +453,15 @@ void BM_MetricsSnapshot(benchmark::State& state) {
 BENCHMARK(BM_MetricsSnapshot)->Arg(100)->Arg(10000);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main): identical flag handling plus
+// the active SIMD dispatch tier in the context block, so every recorded
+// bench_micro.json attributes its numbers to a tier.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("syn_simd_level", syn::nn::active_simd_level_name());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

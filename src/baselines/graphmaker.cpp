@@ -140,6 +140,13 @@ Graph GraphMaker::generate(const NodeAttrs& attrs, util::Rng& rng) {
     arena.rewind(mark);
     float* rows = arena.alloc((k1 - k0) * 2 * hidden);
     for (std::size_t k = k0; k < k1; ++k) {
+      // The eb gathers stride through the embedding table (ea repeats,
+      // eb jumps); hint a few pairs ahead so the lines arrive before the
+      // Hadamard/sum loop needs them.
+      if (k + 8 < k1) {
+        nn::prefetch_ro(emb + pairs[k + 8].first * hidden);
+        nn::prefetch_ro(emb + pairs[k + 8].second * hidden);
+      }
       const float* ea = emb + pairs[k].first * hidden;
       const float* eb = emb + pairs[k].second * hidden;
       float* row = rows + (k - k0) * 2 * hidden;

@@ -120,6 +120,9 @@ void SparseDigress::fit(const std::vector<Graph>& corpus) {
       opt.step();
     }
   }
+  // Training mutated the weight tensors; drop any packed snapshot so
+  // generate()'s predict_batch re-packs the fitted values.
+  denoiser_.invalidate_packed();
   fitted_ = true;
 }
 

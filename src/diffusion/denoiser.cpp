@@ -1,10 +1,11 @@
 #include "diffusion/denoiser.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -23,7 +24,8 @@ Denoiser::Denoiser(DenoiserConfig config, util::Rng& rng)
       time_init_({config.time_dim, config.hidden}, rng),
       relation_({config.time_dim, config.hidden}, rng),
       dtime_({config.time_dim, config.time_dim}, rng),
-      head_({config.hidden + config.time_dim + 1, config.hidden, 1}, rng) {
+      head_({config.hidden + config.time_dim + 1, config.hidden, 1}, rng),
+      packed_mutex_(std::make_unique<std::mutex>()) {
   for (int l = 0; l < config.mpnn_layers; ++l) {
     wh_.emplace_back(config.hidden, config.hidden, rng);
     wm_.emplace_back(config.hidden, config.hidden, rng);
@@ -143,174 +145,25 @@ Tensor Denoiser::decode(const Tensor& h, const std::vector<Pair>& pairs,
       nn::concat_cols(nn::concat_cols(prod, d_rows), Tensor(state)));
 }
 
-namespace {
-
-/// c = a * b via the shared inference kernel (src/nn/inference.hpp):
-/// nn::matmul's exact per-element accumulation order — k ascending with
-/// the zero-skip — with L2-aware tiling planned from the host's measured
-/// cache geometry. Bitwise equal to the tensor path at any tile size.
-void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
-  nn::matmul_rows_into(c, a, b);
+std::shared_ptr<const Denoiser::PackedWeights> Denoiser::packed_weights()
+    const {
+  std::lock_guard<std::mutex> lock(*packed_mutex_);
+  if (!packed_) {
+    auto pw = std::make_shared<PackedWeights>();
+    pw->init = nn::PackedMlp(init_);
+    pw->head = nn::PackedMlp(head_);
+    pw->wh.reserve(wh_.size());
+    pw->wm.reserve(wm_.size());
+    for (const nn::Linear& l : wh_) pw->wh.emplace_back(l);
+    for (const nn::Linear& l : wm_) pw->wm.emplace_back(l);
+    packed_ = std::move(pw);
+  }
+  return packed_;
 }
 
-}  // namespace
-
-Matrix Denoiser::encode_rows(
-    const Matrix& augmented,
-    const std::vector<std::vector<std::size_t>>& parents, int t) const {
-  const nn::NoGradGuard no_grad;
-  // The 1-row time embedding goes through the tensor path (tiny, and its
-  // arithmetic stays trivially identical to encode_augmented's).
-  const Matrix t_emb =
-      time_init_
-          .forward(Tensor(nn::timestep_encoding(t, config_.time_dim)))
-          .value();  // 1 x hidden
-
-  const std::size_t rows = augmented.rows();
-  const std::size_t hidden = config_.hidden;
-  const auto& init_layers = init_.layers();  // {feat -> hidden, hidden -> hidden}
-  // The fused kernel hardcodes the ReLU between init_'s layers.
-  assert(init_.hidden_activation() == nn::Activation::kRelu);
-
-  // init_ MLP: layer0 + bias, hidden ReLU, layer1 + bias...
-  Matrix mm;
-  matmul_into(mm, augmented, init_layers[0].weight_value());
-  const float* b0 = init_layers[0].bias_value().data().data();
-  Matrix x(rows, hidden);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* mrow = mm.data().data() + r * hidden;
-    float* xrow = x.data().data() + r * hidden;
-    for (std::size_t j = 0; j < hidden; ++j) {
-      const float v = mrow[j] + b0[j];
-      xrow[j] = v > 0.0f ? v : 0.0f;
-    }
-  }
-  matmul_into(mm, x, init_layers[1].weight_value());
-  const float* b1 = init_layers[1].bias_value().data().data();
-  // ...then the broadcast time embedding and the outer ReLU.
-  const float* temb = t_emb.data().data();
-  Matrix h(rows, hidden);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* mrow = mm.data().data() + r * hidden;
-    float* hrow = h.data().data() + r * hidden;
-    for (std::size_t j = 0; j < hidden; ++j) {
-      const float v = (mrow[j] + b1[j]) + temb[j];
-      hrow[j] = v > 0.0f ? v : 0.0f;
-    }
-  }
-
-  // Message-passing layers: mean-aggregate parents, two affine maps, ReLU.
-  Matrix msg(rows, hidden);
-  Matrix mmh, mmm;
-  for (int l = 0; l < config_.mpnn_layers; ++l) {
-    msg.fill(0.0f);
-    for (std::size_t g = 0; g < rows; ++g) {
-      if (parents[g].empty()) continue;
-      // Accumulate value * inv per term, in group order — exactly
-      // nn::aggregate_rows.
-      const float inv = 1.0f / static_cast<float>(parents[g].size());
-      float* mrow = msg.data().data() + g * hidden;
-      for (const std::size_t src : parents[g]) {
-        const float* hrow = h.data().data() + src * hidden;
-        for (std::size_t j = 0; j < hidden; ++j) {
-          mrow[j] += hrow[j] * inv;
-        }
-      }
-    }
-    const auto& lh = wh_[static_cast<std::size_t>(l)];
-    const auto& lm = wm_[static_cast<std::size_t>(l)];
-    matmul_into(mmh, h, lh.weight_value());
-    matmul_into(mmm, msg, lm.weight_value());
-    const float* bh = lh.bias_value().data().data();
-    const float* bm = lm.bias_value().data().data();
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float* hrow = mmh.data().data() + r * hidden;
-      const float* mrow = mmm.data().data() + r * hidden;
-      float* out = h.data().data() + r * hidden;
-      for (std::size_t j = 0; j < hidden; ++j) {
-        const float v = (hrow[j] + bh[j]) + (mrow[j] + bm[j]);
-        out[j] = v > 0.0f ? v : 0.0f;
-      }
-    }
-  }
-  return h;
-}
-
-Matrix Denoiser::decode_rows(const Matrix& h, const std::vector<Pair>& pairs,
-                             const std::vector<std::uint8_t>& state,
-                             int t) const {
-  const nn::NoGradGuard no_grad;
-  const Tensor enc_t(nn::timestep_encoding(t, config_.time_dim));
-  // The per-call 1-row embeddings still go through the tensor path — they
-  // are tiny and this keeps their arithmetic trivially identical.
-  Matrix r;
-  if (!config_.symmetric_decoder) r = relation_.forward(enc_t).value();
-  const Matrix d = dtime_.forward(enc_t).value();
-
-  const auto& layer0 = head_.layers()[0];  // (hidden + time_dim + 1) -> hidden
-  const auto& layer1 = head_.layers()[1];  // hidden -> 1
-  // The fused kernel hardcodes the ReLU between head_'s layers.
-  assert(head_.hidden_activation() == nn::Activation::kRelu);
-  const Matrix& w0 = layer0.weight_value();
-  const Matrix& b0 = layer0.bias_value();
-  const Matrix& w1 = layer1.weight_value();
-  const Matrix& b1 = layer1.bias_value();
-
-  const std::size_t hidden = config_.hidden;
-  const std::size_t in_dim = hidden + config_.time_dim + 1;
-  const std::size_t head_hidden = w0.cols();
-  const float* rrow = r.size() ? r.data().data() : nullptr;
-  const float* drow = d.data().data();
-  const float* w0p = w0.data().data();
-  const float* b0p = b0.data().data();
-  const float* w1p = w1.data().data();
-  const float* hbase = h.data().data();
-  std::vector<float> row(in_dim);
-  std::vector<float> acc(head_hidden);
-  Matrix out(pairs.size(), 1);
-  for (std::size_t k = 0; k < pairs.size(); ++k) {
-    // row = [ (H_i (+ r)) ⊙ H_j | 0 + d | A_t bit ] — the same expressions
-    // the mul/add-broadcast/concat tensor ops evaluate per row.
-    const float* hi = hbase + pairs[k].src * hidden;
-    const float* hj = hbase + pairs[k].dst * hidden;
-    if (config_.symmetric_decoder) {
-      for (std::size_t j = 0; j < hidden; ++j) row[j] = hi[j] * hj[j];
-    } else {
-      for (std::size_t j = 0; j < hidden; ++j) {
-        row[j] = (hi[j] + rrow[j]) * hj[j];
-      }
-    }
-    for (std::size_t j = 0; j < config_.time_dim; ++j) {
-      row[hidden + j] = 0.0f + drow[j];  // matches add(zeros, d) exactly
-    }
-    row[hidden + config_.time_dim] = state[k] ? 1.0f : 0.0f;
-
-    // Head layer 0: matmul row (k-ascending, zero-skip as nn::matmul),
-    // then bias, then the hidden ReLU.
-    std::fill(acc.begin(), acc.end(), 0.0f);
-    for (std::size_t kk = 0; kk < in_dim; ++kk) {
-      const float av = row[kk];
-      if (av == 0.0f) continue;
-      const float* wrow = w0p + kk * head_hidden;
-      for (std::size_t j = 0; j < head_hidden; ++j) {
-        acc[j] += av * wrow[j];
-      }
-    }
-    for (std::size_t j = 0; j < head_hidden; ++j) {
-      acc[j] += b0p[j];
-      acc[j] = acc[j] > 0.0f ? acc[j] : 0.0f;
-    }
-    // Head layer 1 (linear output).
-    float logit = 0.0f;
-    for (std::size_t kk = 0; kk < head_hidden; ++kk) {
-      const float av = acc[kk];
-      if (av == 0.0f) continue;
-      logit += av * w1p[kk];
-    }
-    logit += b1.at(0, 0);
-    out.data()[k] = logit;
-  }
-  return out;
+void Denoiser::invalidate_packed() {
+  std::lock_guard<std::mutex> lock(*packed_mutex_);
+  packed_.reset();
 }
 
 std::vector<Matrix> Denoiser::predict_batch(
@@ -355,8 +208,88 @@ std::vector<Matrix> Denoiser::predict_batch(
     base += n;
   }
 
-  const Matrix h = encode_rows(packed, parents, t);
-  const Matrix logits = decode_rows(h, pairs, state, t);
+  // One inference code path: the packed rows run through the shared
+  // PackedMlp/PackedLinear kernels (nn/inference.hpp) on the dispatched
+  // SIMD tier — the same engine every other model uses. Weights are
+  // packed lazily and cached until invalidate_packed().
+  const std::shared_ptr<const PackedWeights> pw = packed_weights();
+  const nn::SimdKernels& simd = nn::simd_kernels();
+  const std::size_t hidden = config_.hidden;
+
+  thread_local nn::InferenceArena arena;
+  arena.reset();
+
+  // Encoder. The 1-row time embedding goes through the tensor path (tiny,
+  // and its arithmetic stays trivially identical to encode_augmented's).
+  const Matrix t_emb =
+      time_init_.forward(Tensor(nn::timestep_encoding(t, config_.time_dim)))
+          .value();  // 1 x hidden
+  // init_ MLP, then the broadcast time embedding folds in as a second
+  // "bias" row with the outer ReLU fused: relu((init(x) + b1) + t_emb) —
+  // encode_augmented's exact association.
+  float* h = pw->init.forward_rows(arena, packed.data().data(), total_nodes);
+  simd.bias_relu_rows(h, t_emb.data().data(), total_nodes, hidden);
+
+  // Message-passing layers: mean-aggregate parents (axpy accumulates
+  // value * inv per term in group order — exactly nn::aggregate_rows),
+  // two affine maps, then the fused two-operand bias + ReLU epilogue.
+  float* msg = arena.alloc(total_nodes * hidden);
+  for (int l = 0; l < config_.mpnn_layers; ++l) {
+    std::fill(msg, msg + total_nodes * hidden, 0.0f);
+    for (std::size_t g = 0; g < total_nodes; ++g) {
+      if (parents[g].empty()) continue;
+      const float inv = 1.0f / static_cast<float>(parents[g].size());
+      float* mrow = msg + g * hidden;
+      for (const std::size_t src : parents[g]) {
+        simd.axpy(mrow, h + src * hidden, inv, hidden);
+      }
+    }
+    const auto& lh = pw->wh[static_cast<std::size_t>(l)];
+    const auto& lm = pw->wm[static_cast<std::size_t>(l)];
+    const auto mark = arena.mark();
+    const float* mmh = lh.forward_rows_nobias(arena, h, total_nodes);
+    const float* mmm = lm.forward_rows_nobias(arena, msg, total_nodes);
+    // h = relu((h W_h + b_h) + (msg W_m + b_m)), written back in place —
+    // both matmuls have consumed h by this point.
+    simd.add2_bias_relu_rows(h, hidden, mmh, hidden, lh.bias(), mmm, hidden,
+                             lm.bias(), total_nodes, hidden);
+    arena.rewind(mark);
+  }
+
+  // Decoder: pair rows [ (H_i (+ r)) ⊙ H_j | 0 + d | A_t bit ] — the same
+  // expressions the mul/add-broadcast/concat tensor ops evaluate per
+  // row — then the head MLP over the whole packed pair block.
+  const Tensor enc_t(nn::timestep_encoding(t, config_.time_dim));
+  Matrix r_emb;
+  if (!config_.symmetric_decoder) r_emb = relation_.forward(enc_t).value();
+  const Matrix d = dtime_.forward(enc_t).value();
+  const float* rrow = r_emb.size() ? r_emb.data().data() : nullptr;
+  const float* drow = d.data().data();
+  const std::size_t in_dim = hidden + config_.time_dim + 1;
+  float* rows_buf = arena.alloc(total_pairs * in_dim);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    if (k + 1 < pairs.size()) {
+      // The H gathers jump around the packed node block; hint the next
+      // pair's rows in while this one's row is built.
+      nn::prefetch_ro(h + pairs[k + 1].src * hidden);
+      nn::prefetch_ro(h + pairs[k + 1].dst * hidden);
+    }
+    float* row_out = rows_buf + k * in_dim;
+    const float* hi = h + pairs[k].src * hidden;
+    const float* hj = h + pairs[k].dst * hidden;
+    if (config_.symmetric_decoder) {
+      for (std::size_t j = 0; j < hidden; ++j) row_out[j] = hi[j] * hj[j];
+    } else {
+      for (std::size_t j = 0; j < hidden; ++j) {
+        row_out[j] = (hi[j] + rrow[j]) * hj[j];
+      }
+    }
+    for (std::size_t j = 0; j < config_.time_dim; ++j) {
+      row_out[hidden + j] = 0.0f + drow[j];  // matches add(zeros, d) exactly
+    }
+    row_out[hidden + config_.time_dim] = state[k] ? 1.0f : 0.0f;
+  }
+  const float* logits = pw->head.forward_rows(arena, rows_buf, total_pairs);
 
   // Split the (sum P_k) x 1 logits back into per-graph blocks.
   std::vector<Matrix> out;
@@ -365,7 +298,7 @@ std::vector<Matrix> Denoiser::predict_batch(
   for (const GraphStepInput& item : batch) {
     Matrix block(item.pairs->size(), 1);
     for (std::size_t k = 0; k < item.pairs->size(); ++k) {
-      block.at(k, 0) = logits.at(row + k, 0);
+      block.at(k, 0) = logits[row + k];
     }
     row += item.pairs->size();
     out.push_back(std::move(block));

@@ -16,10 +16,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "graph/adjacency.hpp"
+#include "nn/inference.hpp"
 #include "nn/layers.hpp"
 #include "nn/optim.hpp"
 
@@ -81,6 +84,11 @@ class Denoiser : public nn::Module {
 
   void collect_parameters(std::vector<nn::Tensor>& out) const override;
 
+  /// Drops the cached packed weights; call after a training step mutates
+  /// the parameters so the next predict_batch() re-packs fresh values.
+  /// In-flight predict_batch() calls keep their shared_ptr snapshot.
+  void invalidate_packed();
+
   [[nodiscard]] const DenoiserConfig& config() const { return config_; }
 
   /// Feature dimension expected by encode(): one-hot type + width feature
@@ -100,27 +108,26 @@ class Denoiser : public nn::Module {
       const nn::Matrix& augmented,
       const std::vector<std::vector<std::size_t>>& parents, int t) const;
 
-  /// Fused inference encoder: the exact encode_augmented() arithmetic
-  /// (init MLP, broadcast time embedding, L message-passing layers) with
-  /// reused flat buffers instead of one autograd tensor per op. Bitwise
-  /// equal to the tensor path — identical loop orders and accumulation —
-  /// minus all allocation and bookkeeping.
-  [[nodiscard]] nn::Matrix encode_rows(
-      const nn::Matrix& augmented,
-      const std::vector<std::vector<std::size_t>>& parents, int t) const;
+  /// The denoiser's weights in the shared fused-inference layout
+  /// (nn/inference.hpp) — predict_batch() runs entirely on
+  /// PackedMlp/PackedLinear + the dispatched SIMD kernels, the same code
+  /// path every other model uses.
+  struct PackedWeights {
+    nn::PackedMlp init;                 // attrs -> hidden (2 layers)
+    std::vector<nn::PackedLinear> wh;   // per-layer self transform
+    std::vector<nn::PackedLinear> wm;   // per-layer message transform
+    nn::PackedMlp head;                 // pair row -> logit (2 layers)
+  };
 
-  /// Fused inference decoder: per pair row, the exact decode() arithmetic
-  /// (translate, Hadamard, concat d(t) and the noisy bit, 2-layer head) in
-  /// one streaming pass with no intermediate matrices. Bitwise equal per
-  /// row to decode() — same loop orders, same accumulation — but the
-  /// packed multi-graph working set stays in registers/L1 instead of
-  /// spilling (sum P_k) x cols temporaries past L2.
-  [[nodiscard]] nn::Matrix decode_rows(const nn::Matrix& h,
-                                       const std::vector<Pair>& pairs,
-                                       const std::vector<std::uint8_t>& state,
-                                       int t) const;
+  /// Lazily packs (and caches) the current weights. Thread-safe: sampling
+  /// threads share one Denoiser, so the cache is built under a mutex and
+  /// handed out as a shared_ptr snapshot.
+  [[nodiscard]] std::shared_ptr<const PackedWeights> packed_weights() const;
 
   DenoiserConfig config_;
+  mutable std::shared_ptr<const PackedWeights> packed_;
+  // unique_ptr keeps Denoiser movable (a std::mutex member would not).
+  std::unique_ptr<std::mutex> packed_mutex_;
   nn::Mlp init_;                 // attrs -> hidden
   nn::Mlp time_init_;            // enc(t) -> hidden (added to init)
   std::vector<nn::Linear> wh_;   // self transform per layer

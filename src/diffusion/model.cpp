@@ -136,6 +136,9 @@ DiffusionModel::TrainStats DiffusionModel::train(
     stats.epoch_loss.push_back(batches ? epoch_loss / static_cast<double>(batches)
                                        : 0.0);
   }
+  // The optimizer mutated the weight tensors in place; drop any packed
+  // snapshot so the next predict_batch() re-packs the trained values.
+  denoiser_.invalidate_packed();
   return stats;
 }
 

@@ -171,6 +171,11 @@ std::vector<double> PcsDiscriminator::score_batch(
   for (std::size_t i = 0; i < gs.size(); ++i) {
     scores[i] = static_cast<double>(out[i]) * label_scale_;
   }
+  // The thread_local arena otherwise holds its high-water mark forever;
+  // after an unusually large batch, follow the workload back down once the
+  // live set is ≤ 1/4 of capacity.
+  const std::size_t used = arena.live_floats();
+  if (used * 4 <= arena.capacity_floats()) arena.shrink(used);
   return scores;
 }
 

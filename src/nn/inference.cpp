@@ -117,58 +117,9 @@ MatmulPlan plan_matmul(std::size_t k_dim, std::size_t n,
   return plan;
 }
 
-void matmul_rows(const float* __restrict a, std::size_t rows,
-                 std::size_t k_dim, const float* __restrict b, std::size_t n,
-                 float* __restrict c, const MatmulPlan& plan) {
-  std::fill(c, c + rows * n, 0.0f);
-  const std::size_t kt = plan.k_tile != 0 ? plan.k_tile : k_dim;
-  const std::size_t jt = plan.j_tile != 0 ? plan.j_tile : n;
-  // __restrict on the row pointers is what lets the inner axpy vectorize:
-  // without it the compiler must assume crow aliases brow and re-load per
-  // element. Vectorizing across j never touches a single element's
-  // accumulation order, so bitwise equality with nn::matmul is preserved.
-  if (kt >= k_dim && jt >= n) {
-    // Single-slab fast path: exactly nn::matmul's loops on raw pointers.
-    for (std::size_t i = 0; i < rows; ++i) {
-      const float* __restrict arow = a + i * k_dim;
-      float* __restrict crow = c + i * n;
-      for (std::size_t k = 0; k < k_dim; ++k) {
-        const float av = arow[k];
-        if (av == 0.0f) continue;
-        const float* __restrict brow = b + k * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-    return;
-  }
-  // Tiled: each C element still accumulates k-ascending (k-tiles visited
-  // in order inside its fixed j-block), so results match the fast path —
-  // and nn::matmul — bitwise.
-  for (std::size_t j0 = 0; j0 < n; j0 += jt) {
-    const std::size_t j1 = std::min(j0 + jt, n);
-    for (std::size_t k0 = 0; k0 < k_dim; k0 += kt) {
-      const std::size_t k1 = std::min(k0 + kt, k_dim);
-      for (std::size_t i = 0; i < rows; ++i) {
-        const float* __restrict arow = a + i * k_dim;
-        float* __restrict crow = c + i * n;
-        for (std::size_t k = k0; k < k1; ++k) {
-          const float av = arow[k];
-          if (av == 0.0f) continue;
-          const float* __restrict brow = b + k * n;
-          for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
-
-void matmul_rows_into(Matrix& c, const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
-  c = Matrix(a.rows(), b.cols());
-  matmul_rows(a.data().data(), a.rows(), a.cols(), b.data().data(), b.cols(),
-              c.data().data(),
-              plan_matmul(a.cols(), b.cols(), CacheGeometry::host()));
-}
+// matmul_rows itself lives in nn/simd.hpp's dispatch table now (one body
+// per SIMD tier, see simd_body.hpp); the inline wrapper in the header
+// forwards to simd_kernels().matmul_rows.
 
 // --- arena -------------------------------------------------------------------
 
@@ -204,6 +155,30 @@ std::size_t InferenceArena::capacity_floats() const {
   return total;
 }
 
+std::size_t InferenceArena::live_floats() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < slab_ && i < slab_floats_.size(); ++i) {
+    total += slab_floats_[i];
+  }
+  return total + offset_;
+}
+
+void InferenceArena::shrink(std::size_t keep) {
+  const std::size_t want = std::max<std::size_t>(keep, 4096);
+  if (capacity_floats() <= want) {
+    reset();
+    return;
+  }
+  slabs_.clear();
+  slab_floats_.clear();
+  // One right-sized slab, so the next batch of `keep` floats fits without
+  // immediately re-growing (which would make shrink pure churn).
+  slabs_.emplace_back(new (std::align_val_t{64}) float[want]);
+  slab_floats_.push_back(want);
+  slab_ = 0;
+  offset_ = 0;
+}
+
 // --- packed layers -----------------------------------------------------------
 
 PackedLinear::PackedLinear(const Linear& src, const CacheGeometry& geo)
@@ -221,13 +196,18 @@ PackedLinear::PackedLinear(const Linear& src, const CacheGeometry& geo)
 float* PackedLinear::forward_rows(InferenceArena& arena, const float* x,
                                   std::size_t rows) const {
   assert(packed());
+  const SimdKernels& simd = simd_kernels();
   float* y = arena.alloc(rows * out_);
-  matmul_rows(x, rows, in_, w_.get(), out_, y, plan_);
-  const float* __restrict bias = b_.get();
-  for (std::size_t r = 0; r < rows; ++r) {
-    float* __restrict yrow = y + r * out_;
-    for (std::size_t j = 0; j < out_; ++j) yrow[j] += bias[j];
-  }
+  simd.matmul_rows(x, rows, in_, w_.get(), out_, y, plan_);
+  simd.bias_rows(y, b_.get(), rows, out_);
+  return y;
+}
+
+float* PackedLinear::forward_rows_nobias(InferenceArena& arena, const float* x,
+                                         std::size_t rows) const {
+  assert(packed());
+  float* y = arena.alloc(rows * out_);
+  simd_kernels().matmul_rows(x, rows, in_, w_.get(), out_, y, plan_);
   return y;
 }
 
@@ -264,12 +244,19 @@ void apply_activation(Activation activation, float* v, std::size_t count) {
 float* PackedMlp::forward_rows(InferenceArena& arena, const float* x,
                                std::size_t rows) const {
   assert(packed());
+  const SimdKernels& simd = simd_kernels();
   const float* cur = x;
   float* y = nullptr;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    y = layers_[i].forward_rows(arena, cur, rows);
-    if (i + 1 < layers_.size()) {
-      apply_activation(hidden_, y, rows * layers_[i].out_dim());
+    const bool hidden = i + 1 < layers_.size();
+    if (hidden && hidden_ == Activation::kRelu) {
+      // Fused bias+ReLU epilogue on the dispatched tier; same float ops
+      // ((y + b) then max with +0) as the separate steps below.
+      y = layers_[i].forward_rows_nobias(arena, cur, rows);
+      simd.bias_relu_rows(y, layers_[i].bias(), rows, layers_[i].out_dim());
+    } else {
+      y = layers_[i].forward_rows(arena, cur, rows);
+      if (hidden) apply_activation(hidden_, y, rows * layers_[i].out_dim());
     }
     cur = y;
   }
@@ -314,49 +301,65 @@ PackedGru::PackedGru(const GruCell& src, const CacheGeometry& geo)
 float* PackedGru::forward_rows(InferenceArena& arena, const float* x,
                                const float* h, std::size_t rows) const {
   assert(packed());
+  const SimdKernels& simd = simd_kernels();
   const std::size_t hd = hidden_;
   // One SoA matmul per operand feeds every gate it can: x -> [z|r|n],
   // h -> [z|r]. Whn waits for r (the tensor path computes hn(r ⊙ h)).
   float* gx = arena.alloc(rows * 3 * hd);
-  matmul_rows(x, rows, in_, wx3_.get(), 3 * hd, gx, plan_x3_);
+  simd.matmul_rows(x, rows, in_, wx3_.get(), 3 * hd, gx, plan_x3_);
   float* gh = arena.alloc(rows * 2 * hd);
-  matmul_rows(h, rows, hd, wh2_.get(), 2 * hd, gh, plan_h2_);
+  simd.matmul_rows(h, rows, hd, wh2_.get(), 2 * hd, gh, plan_h2_);
+
+  // Pre-activations for both sigmoid gates in one strided epilogue call:
+  // the packed [z|r] columns of gx (row stride 3H) and gh (row stride 2H)
+  // line up, so zr[row][j] = (gx+bx) + (gh+bh) for j < 2H — exactly the
+  // tensor path's sigmoid argument, association included.
+  float* zr = arena.alloc(rows * 2 * hd);
+  simd.add2_bias_rows(zr, 2 * hd, gx, 3 * hd, bx3_.get(), gh, 2 * hd,
+                      bh2_.get(), rows, 2 * hd);
 
   float* z = arena.alloc(rows * hd);
-  float* r = arena.alloc(rows * hd);
   float* rh = arena.alloc(rows * hd);
   for (std::size_t row = 0; row < rows; ++row) {
-    const float* gxr = gx + row * 3 * hd;
-    const float* ghr = gh + row * 2 * hd;
+    // The hidden-state walk reads h a row behind the matmul that consumes
+    // rh; hint the next row's operands in while this one computes.
+    if (row + 1 < rows) {
+      prefetch_ro(h + (row + 1) * hd);
+      prefetch_ro(zr + (row + 1) * 2 * hd);
+    }
+    const float* zrr = zr + row * 2 * hd;
     const float* hrow = h + row * hd;
     float* zrow = z + row * hd;
-    float* rrow = r + row * hd;
     float* rhrow = rh + row * hd;
     for (std::size_t j = 0; j < hd; ++j) {
       // sigmoid((xW + bx) + (hW + bh)) — the exact tensor expression.
-      const float zpre = (gxr[j] + bx3_[j]) + (ghr[j] + bh2_[j]);
-      zrow[j] = 1.0f / (1.0f + std::exp(-zpre));
-      const float rpre = (gxr[hd + j] + bx3_[hd + j]) +
-                         (ghr[hd + j] + bh2_[hd + j]);
-      rrow[j] = 1.0f / (1.0f + std::exp(-rpre));
-      rhrow[j] = rrow[j] * hrow[j];
+      zrow[j] = 1.0f / (1.0f + std::exp(-zrr[j]));
+      const float r = 1.0f / (1.0f + std::exp(-zrr[hd + j]));
+      rhrow[j] = r * hrow[j];
     }
   }
 
   float* ghn = arena.alloc(rows * hd);
-  matmul_rows(rh, rows, hd, whn_.get(), hd, ghn, plan_hn_);
+  simd.matmul_rows(rh, rows, hd, whn_.get(), hd, ghn, plan_hn_);
+
+  // npre[row][j] = (gx_n + bx_n) + (ghn + bhn): the n-gate columns of gx
+  // start at offset 2H inside each 3H-stride row.
+  float* npre = arena.alloc(rows * hd);
+  simd.add2_bias_rows(npre, hd, gx + 2 * hd, 3 * hd, bx3_.get() + 2 * hd, ghn,
+                      hd, bhn_.get(), rows, hd);
 
   float* out = arena.alloc(rows * hd);
   for (std::size_t row = 0; row < rows; ++row) {
-    const float* gxr = gx + row * 3 * hd;
-    const float* ghnr = ghn + row * hd;
+    if (row + 1 < rows) {
+      prefetch_ro(h + (row + 1) * hd);
+      prefetch_ro(npre + (row + 1) * hd);
+    }
+    const float* nrow = npre + row * hd;
     const float* hrow = h + row * hd;
     const float* zrow = z + row * hd;
     float* orow = out + row * hd;
     for (std::size_t j = 0; j < hd; ++j) {
-      const float npre = (gxr[2 * hd + j] + bx3_[2 * hd + j]) +
-                         (ghnr[j] + bhn_[j]);
-      const float n = std::tanh(npre);
+      const float n = std::tanh(nrow[j]);
       // h' = (n - z ⊙ n) + (z ⊙ h), in the tensor path's exact order.
       orow[j] = (n - zrow[j] * n) + (zrow[j] * hrow[j]);
     }

@@ -22,9 +22,11 @@
 //     Linear::weight_value() accessors. The GRU packs its three input
 //     gates (and the z/r hidden gates) into single column-concatenated
 //     matrices so one tiled matmul feeds all gates.
-//   * mlp_forward_rows / gru_forward_rows — fused row kernels with
-//     explicitly vectorizable inner loops (contiguous axpy over the
-//     output row) and L2-aware k/j tiling.
+//   * mlp_forward_rows / gru_forward_rows — fused row kernels whose
+//     inner loops (contiguous axpy over the output row, bias+activation
+//     epilogues) run on the runtime-dispatched SIMD tier (nn/simd.hpp:
+//     AVX-512F / AVX2 / SSE2 / scalar, selected per process by CPUID),
+//     with L2-aware k/j tiling.
 //
 // Bitwise contract: every kernel reproduces the tensor ops' arithmetic
 // exactly — nn::matmul's (i, k ascending with the zero-skip, j) loop
@@ -43,6 +45,7 @@
 
 #include "nn/layers.hpp"
 #include "nn/matrix.hpp"
+#include "nn/simd.hpp"
 
 namespace syn::nn {
 
@@ -61,13 +64,6 @@ struct CacheGeometry {
   static const CacheGeometry& host();
 };
 
-/// k/j tile sizes for one (k_dim x n) weight matrix, chosen so the active
-/// weight slab stays resident while activation rows stream through it.
-struct MatmulPlan {
-  std::size_t k_tile = 0;  // rows of B walked per slab
-  std::size_t j_tile = 0;  // columns of B (and C) per slab
-};
-
 /// Picks tiles for C = A (rows x k_dim) * B (k_dim x n): the whole of B
 /// when it fits in half of L1d (activations and the output strip keep the
 /// other half), otherwise a k_tile x j_tile slab sized to that budget
@@ -79,17 +75,13 @@ MatmulPlan plan_matmul(std::size_t k_dim, std::size_t n,
 /// accumulation order (k ascending, zero-skip on A entries) — bitwise
 /// equal to the tensor op at any tile size, because k-tiles are visited
 /// in ascending order and j-tiling never touches the accumulation
-/// sequence of a single C element. C is zeroed first; the inner j loop is
-/// a contiguous axpy the compiler vectorizes. A, B and C must not
-/// overlap (__restrict) — the parameter-level qualifier is what lets the
-/// axpy vectorize without runtime aliasing checks.
-void matmul_rows(const float* __restrict a, std::size_t rows,
-                 std::size_t k_dim, const float* __restrict b, std::size_t n,
-                 float* __restrict c, const MatmulPlan& plan);
-
-/// Matrix convenience wrapper (plans from host geometry per call-site
-/// shape): used by the denoiser's fused kernels.
-void matmul_rows_into(Matrix& c, const Matrix& a, const Matrix& b);
+/// sequence of a single C element. C is zeroed first; the inner axpy runs
+/// on the dispatched SIMD tier (nn/simd.hpp). A, B and C must not overlap.
+inline void matmul_rows(const float* a, std::size_t rows, std::size_t k_dim,
+                        const float* b, std::size_t n, float* c,
+                        const MatmulPlan& plan) {
+  simd_kernels().matmul_rows(a, rows, k_dim, b, n, c, plan);
+}
 
 /// Grow-only bump allocator of 64-byte-aligned float buffers. All
 /// activations of a fused forward borrow from here; nothing is freed
@@ -120,8 +112,20 @@ class InferenceArena {
     offset_ = 0;
   }
 
-  /// Total floats held across slabs (monotone; capacity, not live size).
+  /// Total floats held across slabs (capacity, not live size). Grows
+  /// monotonically between shrink() calls.
   [[nodiscard]] std::size_t capacity_floats() const;
+
+  /// Floats consumed by live allocations (up to the current cursor).
+  [[nodiscard]] std::size_t live_floats() const;
+
+  /// Releases every slab and pre-allocates one of max(keep, 4096) floats,
+  /// so the arena's footprint follows the workload back *down* after a
+  /// high-water-mark batch (thread_local arenas otherwise hold their peak
+  /// forever). No-op when capacity is already at that size or smaller.
+  /// Invalidates all outstanding allocations; the caller must be at a
+  /// natural reset point.
+  void shrink(std::size_t keep = 0);
 
  private:
   struct AlignedDeleter {
@@ -148,11 +152,18 @@ class PackedLinear {
   [[nodiscard]] std::size_t in_dim() const { return in_; }
   [[nodiscard]] std::size_t out_dim() const { return out_; }
   [[nodiscard]] bool packed() const { return out_ != 0; }
+  /// The packed bias row (out_dim() floats) — for callers that fuse this
+  /// layer's bias into a multi-operand epilogue (see add2_bias_rows).
+  [[nodiscard]] const float* bias() const { return b_.get(); }
 
   /// y = x W + b for `rows` rows; y borrows from the arena. Bitwise equal
   /// to Linear::forward.
   float* forward_rows(InferenceArena& arena, const float* x,
                       std::size_t rows) const;
+
+  /// y = x W only — the bias is left to the caller's fused epilogue.
+  float* forward_rows_nobias(InferenceArena& arena, const float* x,
+                             std::size_t rows) const;
 
  private:
   std::size_t in_ = 0, out_ = 0;

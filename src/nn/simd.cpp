@@ -1,0 +1,140 @@
+// Runtime SIMD tier selection: CPUID + SYN_SIMD_LEVEL, resolved once,
+// stored as one atomic table pointer that every kernel call loads.
+#include "nn/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+namespace syn::nn {
+
+namespace {
+
+const SimdKernels* table_for(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return simd_detail::kernels_avx512();
+    case SimdLevel::kAvx2:
+      return simd_detail::kernels_avx2();
+    case SimdLevel::kSse2:
+      return simd_detail::kernels_sse2();
+    case SimdLevel::kScalar:
+      break;
+  }
+  return simd_detail::kernels_scalar();
+}
+
+/// Widest tier the CPU reports AND this binary compiled kernels for
+/// (a tier TU built without its -m flag exports a null table).
+SimdLevel detect_max_level() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f") && simd_detail::kernels_avx512())
+    return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2") && simd_detail::kernels_avx2())
+    return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2") && simd_detail::kernels_sse2())
+    return SimdLevel::kSse2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel clamp_to_host(SimdLevel level) {
+  const SimdLevel max = max_supported_simd_level();
+  return level > max ? max : level;
+}
+
+/// Process-start resolution: SYN_SIMD_LEVEL if set and parseable
+/// (clamped to host support), else the widest supported tier.
+SimdLevel resolve_level() {
+  if (const char* env = std::getenv("SYN_SIMD_LEVEL")) {
+    SimdLevel requested;
+    if (parse_simd_level(env, requested)) return clamp_to_host(requested);
+  }
+  return max_supported_simd_level();
+}
+
+// The active table; null until first resolution. Kernel lookups are one
+// acquire load; (re)installs go through g_mutex so concurrent first-use
+// resolves exactly once.
+std::atomic<const SimdKernels*> g_table{nullptr};
+std::atomic<SimdLevel> g_level{SimdLevel::kScalar};
+std::mutex g_mutex;
+
+SimdLevel install(SimdLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_level.store(level, std::memory_order_relaxed);
+  g_table.store(table_for(level), std::memory_order_release);
+  return level;
+}
+
+void ensure_resolved() {
+  if (g_table.load(std::memory_order_acquire) != nullptr) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_table.load(std::memory_order_relaxed) != nullptr) return;
+  const SimdLevel level = resolve_level();
+  g_level.store(level, std::memory_order_relaxed);
+  g_table.store(table_for(level), std::memory_order_release);
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool parse_simd_level(const char* name, SimdLevel& out) {
+  if (name == nullptr) return false;
+  const std::string_view sv{name};
+  if (sv == "scalar") {
+    out = SimdLevel::kScalar;
+  } else if (sv == "sse2") {
+    out = SimdLevel::kSse2;
+  } else if (sv == "avx2") {
+    out = SimdLevel::kAvx2;
+  } else if (sv == "avx512") {
+    out = SimdLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel max_supported_simd_level() {
+  static const SimdLevel max = detect_max_level();
+  return max;
+}
+
+SimdLevel active_simd_level() {
+  ensure_resolved();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+const char* active_simd_level_name() { return to_string(active_simd_level()); }
+
+SimdLevel set_simd_level(SimdLevel level) {
+  return install(clamp_to_host(level));
+}
+
+SimdLevel refresh_simd_level() { return install(resolve_level()); }
+
+const SimdKernels& simd_kernels() {
+  const SimdKernels* table = g_table.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    ensure_resolved();
+    table = g_table.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+}  // namespace syn::nn

@@ -1,0 +1,41 @@
+// AVX-512F dispatch tier (512-bit, 16 floats/lane-group). Compiled with
+// per-file `-mavx512f -mno-fma -ffp-contract=off` (src/CMakeLists.txt);
+// same no-FMA reasoning as the AVX2 TU. Only the F (foundation) subset is
+// used — plain loads/stores/mul/add/max — so any AVX-512 CPU qualifies.
+#include "nn/simd_body.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+namespace syn::nn::simd_detail {
+
+namespace {
+
+struct Avx512V {
+  using reg = __m512;
+  static constexpr std::size_t width = 16;
+  static reg loadu(const float* p) { return _mm512_loadu_ps(p); }
+  static void storeu(float* p, reg v) { _mm512_storeu_ps(p, v); }
+  static reg set1(float v) { return _mm512_set1_ps(v); }
+  static reg add(reg a, reg b) { return _mm512_add_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm512_mul_ps(a, b); }
+  // vmaxps zmm semantics match SSE/AVX: SRC2 on NaN/both-zero, so v as
+  // SRC1 matches the scalar `v > 0.0f ? v : 0.0f` bitwise.
+  static reg max0(reg v) { return _mm512_max_ps(v, _mm512_setzero_ps()); }
+};
+
+const SimdKernels kTable = make_kernels<Avx512V>();
+
+}  // namespace
+
+const SimdKernels* kernels_avx512() { return &kTable; }
+
+}  // namespace syn::nn::simd_detail
+
+#else  // !__AVX512F__
+
+namespace syn::nn::simd_detail {
+const SimdKernels* kernels_avx512() { return nullptr; }
+}  // namespace syn::nn::simd_detail
+
+#endif

@@ -1,0 +1,161 @@
+// Internal: the one set of kernel bodies every SIMD tier instantiates.
+//
+// Each tier TU (simd_scalar.cpp, simd_sse2.cpp, simd_avx2.cpp,
+// simd_avx512.cpp) defines a vector-traits struct V — register type,
+// width, loadu/storeu/set1/add/mul/max0 — and exports
+// make_kernels<V>(). Keeping a single body guarantees every tier runs
+// the *same* loop structure: vectorization only ever spans output
+// columns (j), each element's k-ascending accumulation order and the
+// zero-skip are shared source code, and mul/add stay separate
+// intrinsics. Bitwise equality across tiers is then a property of the
+// template, not of four hand-kept copies.
+//
+// Traits contract:
+//   using reg = ...;                      // vector register type
+//   static constexpr std::size_t width;   // floats per register
+//   static reg  loadu(const float*);      // unaligned load
+//   static void storeu(float*, reg);      // unaligned store
+//   static reg  set1(float);              // broadcast
+//   static reg  add(reg, reg);            // lane-wise a + b
+//   static reg  mul(reg, reg);            // lane-wise a * b
+//   static reg  max0(reg);                // lane-wise max(x, +0.0f),
+//                                         // NaN -> +0.0f (x is SRC1)
+// max0 must match the scalar `x > 0.0f ? x : 0.0f` bitwise: on x86 that
+// is max_ps(x, zero) — both-zero and NaN operands resolve to SRC2 (+0).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/simd.hpp"
+
+namespace syn::nn::simd_detail {
+
+/// crow[j] += av * brow[j] for j in [j0, j1): the matmul axpy inner
+/// loop. Vector main loop + scalar tail; per-element arithmetic is one
+/// mul and one add in both, so the tail boundary never changes results.
+template <class V>
+inline void axpy_cols(float* __restrict crow, const float* __restrict brow,
+                      float av, std::size_t j0, std::size_t j1) {
+  std::size_t j = j0;
+  if constexpr (V::width > 1) {
+    const typename V::reg va = V::set1(av);
+    for (; j + V::width <= j1; j += V::width) {
+      V::storeu(crow + j,
+                V::add(V::loadu(crow + j), V::mul(va, V::loadu(brow + j))));
+    }
+  }
+  for (; j < j1; ++j) crow[j] += av * brow[j];
+}
+
+template <class V>
+void matmul_rows_t(const float* __restrict a, std::size_t rows,
+                   std::size_t k_dim, const float* __restrict b, std::size_t n,
+                   float* __restrict c, const MatmulPlan& plan) {
+  for (std::size_t i = 0; i < rows * n; ++i) c[i] = 0.0f;
+  const std::size_t kt = plan.k_tile != 0 ? plan.k_tile : k_dim;
+  const std::size_t jt = plan.j_tile != 0 ? plan.j_tile : n;
+  if (kt >= k_dim && jt >= n) {
+    // Single-slab fast path: exactly nn::matmul's loops.
+    for (std::size_t i = 0; i < rows; ++i) {
+      const float* __restrict arow = a + i * k_dim;
+      float* __restrict crow = c + i * n;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        axpy_cols<V>(crow, b + k * n, av, 0, n);
+      }
+    }
+    return;
+  }
+  // Tiled: each C element still accumulates k-ascending (k-tiles visited
+  // in order inside its fixed j-block), so results match the fast path —
+  // and nn::matmul — bitwise.
+  for (std::size_t j0 = 0; j0 < n; j0 += jt) {
+    const std::size_t j1 = j0 + jt < n ? j0 + jt : n;
+    for (std::size_t k0 = 0; k0 < k_dim; k0 += kt) {
+      const std::size_t k1 = k0 + kt < k_dim ? k0 + kt : k_dim;
+      for (std::size_t i = 0; i < rows; ++i) {
+        const float* __restrict arow = a + i * k_dim;
+        float* __restrict crow = c + i * n;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float av = arow[k];
+          if (av == 0.0f) continue;
+          axpy_cols<V>(crow, b + k * n, av, j0, j1);
+        }
+      }
+    }
+  }
+}
+
+template <class V>
+void axpy_t(float* __restrict y, const float* __restrict x, float a,
+            std::size_t n) {
+  std::size_t j = 0;
+  if constexpr (V::width > 1) {
+    const typename V::reg va = V::set1(a);
+    // mul(x, a): operand order matches the scalar `x[j] * a`.
+    for (; j + V::width <= n; j += V::width) {
+      V::storeu(y + j, V::add(V::loadu(y + j), V::mul(V::loadu(x + j), va)));
+    }
+  }
+  for (; j < n; ++j) y[j] += x[j] * a;
+}
+
+template <class V, bool kRelu>
+void bias_rows_t(float* __restrict y, const float* __restrict bias,
+                 std::size_t rows, std::size_t n) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* __restrict yrow = y + r * n;
+    std::size_t j = 0;
+    if constexpr (V::width > 1) {
+      for (; j + V::width <= n; j += V::width) {
+        typename V::reg v = V::add(V::loadu(yrow + j), V::loadu(bias + j));
+        if constexpr (kRelu) v = V::max0(v);
+        V::storeu(yrow + j, v);
+      }
+    }
+    for (; j < n; ++j) {
+      const float v = yrow[j] + bias[j];
+      yrow[j] = kRelu ? (v > 0.0f ? v : 0.0f) : v;
+    }
+  }
+}
+
+template <class V, bool kRelu>
+void add2_bias_rows_t(float* __restrict out, std::size_t out_stride,
+                      const float* __restrict u, std::size_t u_stride,
+                      const float* __restrict bu, const float* __restrict v,
+                      std::size_t v_stride, const float* __restrict bv,
+                      std::size_t rows, std::size_t n) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* __restrict orow = out + r * out_stride;
+    const float* __restrict urow = u + r * u_stride;
+    const float* __restrict vrow = v + r * v_stride;
+    std::size_t j = 0;
+    if constexpr (V::width > 1) {
+      for (; j + V::width <= n; j += V::width) {
+        // (u + bu) + (v + bv): the tensor path's exact association.
+        typename V::reg s =
+            V::add(V::add(V::loadu(urow + j), V::loadu(bu + j)),
+                   V::add(V::loadu(vrow + j), V::loadu(bv + j)));
+        if constexpr (kRelu) s = V::max0(s);
+        V::storeu(orow + j, s);
+      }
+    }
+    for (; j < n; ++j) {
+      const float s = (urow[j] + bu[j]) + (vrow[j] + bv[j]);
+      orow[j] = kRelu ? (s > 0.0f ? s : 0.0f) : s;
+    }
+  }
+}
+
+template <class V>
+constexpr SimdKernels make_kernels() {
+  return SimdKernels{
+      &matmul_rows_t<V>,          &axpy_t<V>,
+      &bias_rows_t<V, false>,     &bias_rows_t<V, true>,
+      &add2_bias_rows_t<V, false>, &add2_bias_rows_t<V, true>,
+  };
+}
+
+}  // namespace syn::nn::simd_detail

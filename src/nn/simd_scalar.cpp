@@ -1,0 +1,28 @@
+// Scalar dispatch tier. Always compiled, on every architecture — this is
+// the portable floor the loader falls back to, and on non-x86 builds the
+// auto-vectorizer is free to widen these loops (no width-dependent
+// rounding exists in the bodies: one mul + one add per element).
+#include "nn/simd_body.hpp"
+
+namespace syn::nn::simd_detail {
+
+namespace {
+
+struct ScalarV {
+  using reg = float;
+  static constexpr std::size_t width = 1;
+  static reg loadu(const float* p) { return *p; }
+  static void storeu(float* p, reg v) { *p = v; }
+  static reg set1(float v) { return v; }
+  static reg add(reg a, reg b) { return a + b; }
+  static reg mul(reg a, reg b) { return a * b; }
+  static reg max0(reg v) { return v > 0.0f ? v : 0.0f; }
+};
+
+constexpr SimdKernels kTable = make_kernels<ScalarV>();
+
+}  // namespace
+
+const SimdKernels* kernels_scalar() { return &kTable; }
+
+}  // namespace syn::nn::simd_detail

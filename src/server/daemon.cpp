@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "nn/simd.hpp"
 #include "rtl/generators.hpp"
 #include "server/socket_io.hpp"
 #include "server/stream_sink.hpp"
@@ -647,6 +648,13 @@ Json Daemon::metrics_json() {
                                   : static_cast<double>(cache.hits) /
                                         static_cast<double>(lookups));
   metrics.set("synth_cache", std::move(synth_cache));
+
+  // Which SIMD tier the inference kernels dispatched to on this host —
+  // renders as the info gauge syn_inference_simd_level{value="..."} 1, so
+  // fleet throughput differences are attributable to kernel width.
+  Json inference;
+  inference.set("simd_level", std::string(nn::active_simd_level_name()));
+  metrics.set("inference", std::move(inference));
   return metrics;
 }
 

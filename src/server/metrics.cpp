@@ -110,7 +110,14 @@ namespace {
 
 void append_metric_line(std::string& out, const std::string& name,
                         const Json& value) {
-  if (!value.is_number()) return;  // strings/bools are not scrapeable
+  if (value.is_string()) {
+    // Info-gauge idiom: the string rides in a label, the sample is a
+    // constant 1 (e.g. syn_inference_simd_level{value="avx512"} 1). The
+    // JSON string escaping (\\, \", \n) matches Prometheus label rules.
+    out += "syn_" + name + "{value=" + value.dump() + "} 1\n";
+    return;
+  }
+  if (!value.is_number()) return;  // bools/arrays are not scrapeable
   out += "syn_" + name + " " + value.dump() + "\n";
 }
 

@@ -1,16 +1,22 @@
 // Fused-vs-tensor bitwise equivalence suite for the inference engine
 // (nn/inference.hpp): tiled matmul, arena lifecycle, PackedMlp/PackedGru
-// across every Activation, batch sizes 0/1/odd, mixed widths, and shared
-// packed weights across threads (TSan tier).
+// across every Activation, batch sizes 0/1/odd, mixed widths, shared
+// packed weights across threads (TSan tier), and the SYN_SIMD_LEVEL
+// dispatch sweep — every tier the host supports must be bitwise identical
+// to the tensor path (also registered in the UBSan tier, which catches
+// misaligned vector loads).
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "diffusion/denoiser.hpp"
 #include "nn/inference.hpp"
 #include "nn/layers.hpp"
 #include "nn/matrix.hpp"
+#include "nn/simd.hpp"
 #include "nn/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -228,6 +234,240 @@ TEST(Inference, SharedPackedModelAcrossThreadsMatchesTensor) {
   }
   for (auto& th : threads) th.join();
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+TEST(Arena, LiveFloatsTracksConsumption) {
+  InferenceArena arena;
+  EXPECT_EQ(arena.live_floats(), 0u);
+  arena.alloc(100);
+  EXPECT_EQ(arena.live_floats(), 100u);
+  arena.alloc(50);
+  EXPECT_EQ(arena.live_floats(), 150u);
+  arena.reset();
+  EXPECT_EQ(arena.live_floats(), 0u);
+  // Spanning into a second slab counts the first slab's full size
+  // (consumed, fragmentation included).
+  arena.alloc(100);
+  arena.alloc(100000);
+  EXPECT_GE(arena.live_floats(), 100100u);
+}
+
+TEST(Arena, ShrinkReleasesHighWaterMark) {
+  InferenceArena arena;
+  arena.alloc(200000);  // one big batch grows the arena...
+  arena.reset();
+  arena.alloc(1000);  // ...then the workload drops back down
+  const std::size_t used = arena.live_floats();
+  ASSERT_GE(arena.capacity_floats(), 200000u);
+  arena.shrink(used);
+  // Footprint follows the workload down (to the 4096-float slab floor).
+  EXPECT_LE(arena.capacity_floats(), 4096u);
+  // And the arena still serves the small workload without corruption.
+  float* p = arena.alloc(1000);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0f;
+  p[999] = 2.0f;
+  EXPECT_EQ(p[0], 1.0f);
+  EXPECT_EQ(p[999], 2.0f);
+}
+
+TEST(Arena, ShrinkIsNoopChurnBelowTheFloor) {
+  InferenceArena arena;
+  arena.alloc(10);
+  const std::size_t cap = arena.capacity_floats();
+  float* first = arena.alloc(0);
+  arena.shrink();
+  EXPECT_EQ(arena.capacity_floats(), cap);  // no slab was released...
+  arena.alloc(10);
+  EXPECT_EQ(arena.alloc(0), first);  // ...but the cursor was reset
+}
+
+// --- SIMD dispatch -----------------------------------------------------------
+
+TEST(SimdLevel, ToStringParseRoundtrip) {
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSse2,
+                                SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    SimdLevel parsed;
+    ASSERT_TRUE(parse_simd_level(to_string(level), parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  SimdLevel parsed;
+  EXPECT_FALSE(parse_simd_level("neon", parsed));
+  EXPECT_FALSE(parse_simd_level("", parsed));
+  EXPECT_FALSE(parse_simd_level(nullptr, parsed));
+}
+
+TEST(SimdLevel, ActiveIsWithinHostSupport) {
+  EXPECT_LE(active_simd_level(), max_supported_simd_level());
+  EXPECT_STREQ(active_simd_level_name(), to_string(active_simd_level()));
+}
+
+/// Sweeps every tier the host supports via the SYN_SIMD_LEVEL override
+/// (the process-start resolution path), restoring the default on exit.
+class SimdLevelSweep : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("SYN_SIMD_LEVEL");
+    refresh_simd_level();
+  }
+
+  static std::vector<SimdLevel> host_levels() {
+    std::vector<SimdLevel> out;
+    for (int l = 0; l <= static_cast<int>(max_supported_simd_level()); ++l) {
+      out.push_back(static_cast<SimdLevel>(l));
+    }
+    return out;
+  }
+
+  static SimdLevel use(SimdLevel level) {
+    ::setenv("SYN_SIMD_LEVEL", to_string(level), 1);
+    return refresh_simd_level();
+  }
+};
+
+TEST_F(SimdLevelSweep, EnvOverrideSelectsEachSupportedTier) {
+  for (const SimdLevel level : host_levels()) {
+    EXPECT_EQ(use(level), level);
+    EXPECT_EQ(active_simd_level(), level);
+  }
+}
+
+TEST_F(SimdLevelSweep, OverridesClampAndIgnoreGarbage) {
+  // A request above host support clamps down instead of crashing on
+  // unsupported instructions.
+  ::setenv("SYN_SIMD_LEVEL", "avx512", 1);
+  EXPECT_LE(refresh_simd_level(), max_supported_simd_level());
+  EXPECT_EQ(set_simd_level(SimdLevel::kAvx512),
+            max_supported_simd_level() < SimdLevel::kAvx512
+                ? max_supported_simd_level()
+                : SimdLevel::kAvx512);
+  // Unparseable values fall back to the widest supported tier.
+  ::setenv("SYN_SIMD_LEVEL", "turbo", 1);
+  EXPECT_EQ(refresh_simd_level(), max_supported_simd_level());
+}
+
+TEST_F(SimdLevelSweep, MatmulRowsBitwiseIdenticalAcrossTiers) {
+  util::Rng rng(501);
+  // Ragged shapes: 129 and 37 are not multiples of any vector width, so
+  // every tier exercises its scalar tail; the tiled plan adds unaligned
+  // j-block starts on top.
+  const Matrix a = random_matrix(37, 513, rng);
+  const Matrix b = random_matrix(513, 129, rng);
+  const Matrix reference = matmul(a, b);
+
+  CacheGeometry tiny;
+  tiny.l1d_bytes = 1024;
+  tiny.l2_bytes = 4096;
+  tiny.line_bytes = 64;
+  for (const SimdLevel level : host_levels()) {
+    ASSERT_EQ(use(level), level);
+    for (const MatmulPlan& plan :
+         {plan_matmul(513, 129, tiny), plan_matmul(513, 129, CacheGeometry{}),
+          MatmulPlan{}}) {
+      std::vector<float> c(a.rows() * b.cols(), -1.0f);
+      matmul_rows(a.data().data(), a.rows(), a.cols(), b.data().data(),
+                  b.cols(), c.data(), plan);
+      expect_bitwise_equal(c.data(), reference);
+    }
+  }
+}
+
+TEST_F(SimdLevelSweep, MlpForwardBitwiseIdenticalAcrossTiers) {
+  util::Rng rng(502);
+  const Mlp mlp({9, 33, 17, 3}, rng, Activation::kRelu);  // ragged widths
+  const PackedMlp packed(mlp);
+  const Matrix x = random_matrix(6, 9, rng);
+  NoGradGuard guard;
+  const Matrix reference = mlp.forward(Tensor(x)).value();
+  for (const SimdLevel level : host_levels()) {
+    ASSERT_EQ(use(level), level);
+    InferenceArena arena;
+    const float* fused = mlp_forward_rows(packed, arena, x.data().data(), 6);
+    expect_bitwise_equal(fused, reference);
+  }
+}
+
+TEST_F(SimdLevelSweep, GruForwardBitwiseIdenticalAcrossTiers) {
+  util::Rng rng(503);
+  const GruCell cell(7, 19, rng);  // 19: scalar tails in every tier
+  const PackedGru packed(cell);
+  const std::size_t batch = 3;
+  std::vector<Matrix> x_steps;
+  for (int step = 0; step < 4; ++step) {
+    x_steps.push_back(random_matrix(batch, 7, rng));
+  }
+  Matrix h_tensor(batch, 19);
+  std::vector<Matrix> references;
+  for (const Matrix& x : x_steps) {
+    NoGradGuard guard;
+    h_tensor = cell.forward(Tensor(x), Tensor(h_tensor)).value();
+    references.push_back(h_tensor);
+  }
+  for (const SimdLevel level : host_levels()) {
+    ASSERT_EQ(use(level), level);
+    InferenceArena arena;
+    std::vector<float> h(batch * 19, 0.0f);
+    for (std::size_t step = 0; step < x_steps.size(); ++step) {
+      arena.reset();
+      const float* next = gru_forward_rows(
+          packed, arena, x_steps[step].data().data(), h.data(), batch);
+      expect_bitwise_equal(next, references[step]);
+      std::copy(next, next + h.size(), h.begin());
+    }
+  }
+}
+
+// The denoiser's predict_batch now runs on the unified PackedMlp path;
+// its multi-graph logits must be bitwise stable across every tier.
+TEST_F(SimdLevelSweep, DenoiserPredictBatchBitwiseIdenticalAcrossTiers) {
+  util::Rng rng(504);
+  diffusion::Denoiser denoiser(
+      {.mpnn_layers = 2, .hidden = 12, .time_dim = 8}, rng);
+
+  // Three small graphs with distinct shapes and parent structure.
+  std::vector<Matrix> features;
+  std::vector<std::vector<std::vector<std::size_t>>> parents;
+  std::vector<std::vector<diffusion::Pair>> pairs;
+  std::vector<std::vector<std::uint8_t>> state;
+  for (const std::size_t n : {std::size_t{4}, std::size_t{7}, std::size_t{5}}) {
+    features.push_back(
+        random_matrix(n, diffusion::Denoiser::feature_dim(), rng));
+    std::vector<std::vector<std::size_t>> plist(n);
+    for (std::size_t j = 1; j < n; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        if (rng.uniform(0.0, 1.0) < 0.5) plist[j].push_back(i);
+      }
+    }
+    parents.push_back(std::move(plist));
+    std::vector<diffusion::Pair> ps;
+    std::vector<std::uint8_t> st;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ps.push_back({static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>(i + 1)});
+      st.push_back(static_cast<std::uint8_t>(i % 2));
+    }
+    pairs.push_back(std::move(ps));
+    state.push_back(std::move(st));
+  }
+  std::vector<diffusion::GraphStepInput> batch;
+  for (std::size_t k = 0; k < features.size(); ++k) {
+    batch.push_back({&features[k], &parents[k], &pairs[k], &state[k]});
+  }
+
+  ASSERT_EQ(use(SimdLevel::kScalar), SimdLevel::kScalar);
+  const std::vector<Matrix> reference = denoiser.predict_batch(batch, 3);
+  for (const SimdLevel level : host_levels()) {
+    ASSERT_EQ(use(level), level);
+    const std::vector<Matrix> got = denoiser.predict_batch(batch, 3);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t g = 0; g < got.size(); ++g) {
+      ASSERT_EQ(got[g].size(), reference[g].size());
+      for (std::size_t i = 0; i < got[g].size(); ++i) {
+        EXPECT_EQ(got[g][i], reference[g][i])
+            << "graph " << g << " logit " << i << " tier " << to_string(level);
+      }
+    }
+  }
 }
 
 }  // namespace

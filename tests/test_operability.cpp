@@ -113,11 +113,17 @@ TEST(Metrics, RenderTextFlattensSectionsToScrapeLines) {
   Json extra;  // daemon-style extra section with one nesting level
   extra.set("done", static_cast<std::uint64_t>(40));
   snapshot.set("jobs", std::move(extra));
+  Json inference;  // string leaves render as info gauges (value label, 1)
+  inference.set("simd_level", std::string("avx2"));
+  snapshot.set("inference", std::move(inference));
   const std::string text = server::render_metrics_text(snapshot);
   EXPECT_NE(text.find("syn_counters_jobs_submitted 42"), std::string::npos)
       << text;
   EXPECT_NE(text.find("syn_gauges_connections 2"), std::string::npos) << text;
   EXPECT_NE(text.find("syn_jobs_done 40"), std::string::npos) << text;
+  EXPECT_NE(text.find("syn_inference_simd_level{value=\"avx2\"} 1"),
+            std::string::npos)
+      << text;
 }
 
 TEST(Metrics, PercentileHelpersMatchOrderStatistics) {
