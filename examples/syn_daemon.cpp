@@ -1,6 +1,6 @@
 // syn_daemon: the resident dataset-generation server.
 //
-//   syn_daemon --socket=PATH [--tcp=PORT] [--jobs=N] [--quiet]
+//   syn_daemon --socket=PATH [--tcp=PORT] [--node=NAME] [--jobs=N] [--quiet]
 //              [--max-queued=N] [--max-active=N] [--max-total-queued=N]
 //              [--max-designs=N] [--max-out-bytes=B]
 //              [--gc-retain=K] [--gc-ttl-ms=T]
@@ -62,6 +62,8 @@ int main(int argc, char** argv) {
       config.socket_path = arg.substr(9);
     } else if (arg.rfind("--tcp=", 0) == 0) {
       config.tcp_port = std::atoi(arg.c_str() + 6);
+    } else if (arg.rfind("--node=", 0) == 0) {
+      config.node_id = arg.substr(7);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       const int jobs = std::atoi(arg.c_str() + 7);
       if (jobs < 1) {

@@ -8,17 +8,26 @@
 //   synctl --socket=PATH list
 //   synctl --socket=PATH cancel JOB
 //   synctl --socket=PATH tail JOB [--filter=all|records|checkpoints]
-//   synctl --socket=PATH metrics [--json]
+//   synctl --socket=PATH metrics [--json] [--watch=MS [--limit=K]]
+//   synctl --fleet=ADDR workers
 //   synctl --socket=PATH bench [--clients=K] [--jobs=N] [--count=C]
 //          [--backend=NAME] [--out=DIR] [--seed=S] [--batch=K]
 //          [--threads=T] [--quiet]
 //   synctl --socket=PATH ping
 //   synctl --socket=PATH shutdown [--now]
 //
-// (--tcp=HOST:PORT connects over loopback TCP instead of the socket.)
+// (--tcp=HOST:PORT connects over loopback TCP instead of the socket.
+// --fleet=ADDR addresses a syn_coordinator — host:port, or a socket path
+// when ADDR contains '/' or no ':' — and is interchangeable with the
+// other two for every command; `workers` prints the coordinator's fleet
+// membership table, one worker per line.)
 //
 // `metrics` prints the daemon's METRICS snapshot as scrape-friendly
 // "syn_<section>_<name> <value>" lines (--json for the raw object).
+// `metrics --watch=MS` rescrapes every MS milliseconds and prints only
+// the metrics that CHANGED, with their per-second rates, largest change
+// first (--limit=K rows per tick) — a live top-N of what the daemon is
+// doing. Runs until interrupted.
 // `bench` load-tests the daemon: K client threads submit N jobs total
 // and stream them to completion, then a latency/throughput report
 // prints; exit code 1 if any job failed.
@@ -27,10 +36,15 @@
 // object per line — greppable and pipeable to jq. Exit code: 0 on
 // success; 1 on connection/daemon errors; for `tail` (and `submit
 // --tail`) also 1 when the job ends failed or cancelled.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "server/bench.hpp"
@@ -48,13 +62,14 @@ using syn::util::Json;
 
 int usage() {
   std::cerr
-      << "usage: synctl --socket=PATH <command>\n"
+      << "usage: synctl (--socket=PATH | --tcp=HOST:PORT | --fleet=ADDR)"
+         " <command>\n"
          "  submit [count] [--backend=NAME] [--out=DIR] [--seed=S]\n"
          "         [--batch=K] [--threads=T] [--shard-size=N] [--queue=N]\n"
          "         [--fresh] [--no-synth-stats] [--client=NAME] [--tail]\n"
-         "  status JOB | list | cancel JOB | ping\n"
+         "  status JOB | list | cancel JOB | ping | workers\n"
          "  tail JOB [--filter=all|records|checkpoints]\n"
-         "  metrics [--json]\n"
+         "  metrics [--json] [--watch=MS [--limit=K]]\n"
          "  bench [--clients=K] [--jobs=N] [--count=C] [--backend=NAME]\n"
          "        [--out=DIR] [--seed=S] [--batch=K] [--threads=T]"
          " [--quiet]\n"
@@ -81,6 +96,17 @@ int run(int argc, char** argv) {
       socket = arg.substr(9);
     } else if (arg.rfind("--tcp=", 0) == 0) {
       tcp = arg.substr(6);
+    } else if (arg.rfind("--fleet=", 0) == 0) {
+      // Coordinator address: host:port, or a unix socket path when the
+      // value contains '/' or no ':' (same rule syn_coordinator applies
+      // to --worker). The protocol is identical either way.
+      const std::string addr = arg.substr(8);
+      if (addr.find('/') != std::string::npos ||
+          addr.find(':') == std::string::npos) {
+        socket = addr;
+      } else {
+        tcp = addr;
+      }
     } else {
       args.push_back(arg);
     }
@@ -170,18 +196,72 @@ int run(int argc, char** argv) {
 
   if (command == "metrics") {
     bool json = false;
+    long watch_ms = 0;
+    std::size_t limit = 0;
     for (std::size_t i = 1; i < args.size(); ++i) {
       if (args[i] == "--json") {
         json = true;
+      } else if (args[i].rfind("--watch=", 0) == 0) {
+        watch_ms = std::atol(args[i].c_str() + 8);
+      } else if (args[i].rfind("--limit=", 0) == 0) {
+        limit = static_cast<std::size_t>(std::atoll(args[i].c_str() + 8));
       } else {
         return usage();
       }
     }
-    const Json snapshot = conn.metrics();
-    if (json) {
-      std::cout << snapshot.dump() << "\n";
-    } else {
-      std::cout << syn::server::render_metrics_text(snapshot);
+    if (watch_ms <= 0) {
+      const Json snapshot = conn.metrics();
+      if (json) {
+        std::cout << snapshot.dump() << "\n";
+      } else {
+        std::cout << syn::server::render_metrics_text(snapshot);
+      }
+      return 0;
+    }
+    // Delta mode: rescrape every watch_ms and print only what moved,
+    // biggest mover first. The first scrape is the silent baseline.
+    std::map<std::string, double> prev;
+    for (const auto& [name, value] :
+         syn::server::flatten_metrics(conn.metrics())) {
+      prev[name] = value;
+    }
+    std::cout << "watching " << prev.size() << " metrics every " << watch_ms
+              << " ms (changed values only; ctrl-c to stop)\n";
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(watch_ms));
+      const auto flat = syn::server::flatten_metrics(conn.metrics());
+      struct Change {
+        std::string name;
+        double value;
+        double delta;
+      };
+      std::vector<Change> changes;
+      for (const auto& [name, value] : flat) {
+        const auto it = prev.find(name);
+        const double delta = it == prev.end() ? value : value - it->second;
+        if (delta != 0.0) changes.push_back({name, value, delta});
+        prev[name] = value;
+      }
+      std::sort(changes.begin(), changes.end(),
+                [](const Change& a, const Change& b) {
+                  return std::abs(a.delta) > std::abs(b.delta);
+                });
+      if (limit > 0 && changes.size() > limit) changes.resize(limit);
+      std::cout << "--- " << changes.size() << " changed\n";
+      const double seconds = static_cast<double>(watch_ms) / 1000.0;
+      for (const Change& c : changes) {
+        std::cout << "syn_" << c.name << " " << c.value << " "
+                  << (c.delta > 0 ? "+" : "") << c.delta << " ("
+                  << c.delta / seconds << "/s)\n";
+      }
+      std::cout.flush();
+    }
+  }
+
+  if (command == "workers") {
+    const Json workers = conn.workers();  // named: the loop borrows it
+    for (const Json& worker : workers.array()) {
+      std::cout << worker.dump() << "\n";
     }
     return 0;
   }

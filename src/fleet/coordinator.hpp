@@ -1,0 +1,147 @@
+// Coordinator: the fleet-level daemon.
+//
+//   synctl / any protocol client
+//        │ the SAME NDJSON grammar a single syn_daemon speaks
+//        ▼
+//   Coordinator ── JobScheduler (fair-share, quotas, cancel)
+//        │ job body = FleetDispatcher::run
+//        ├── WorkerRegistry ◄── heartbeat thread (HELLO/HEARTBEAT probes)
+//        ▼
+//   syn_daemon workers (each runs its sub-range through the normal
+//   GenerationService / ShardedDiskSink path)
+//
+// A client cannot tell a coordinator from a worker except by asking
+// (PING answers "syn_coordinator", WORKERS answers the membership table
+// instead of not_coordinator): SUBMIT/STATUS/LIST/CANCEL/STREAM behave
+// identically, stream events carry the coordinator's job id, and the
+// final dataset is byte-identical to the single-daemon run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fleet/dispatcher.hpp"
+#include "fleet/registry.hpp"
+#include "server/event_log.hpp"
+#include "server/metrics.hpp"
+#include "server/protocol.hpp"
+#include "server/scheduler.hpp"
+
+namespace syn::fleet {
+
+struct CoordinatorConfig {
+  /// Unix-domain socket to listen on (required).
+  std::filesystem::path socket_path;
+  /// Also listen on 127.0.0.1:tcp_port (0 = unix socket only).
+  int tcp_port = 0;
+  /// Worker endpoints ("host:port" or socket paths) registered at
+  /// construction; the heartbeat loop brings them live.
+  std::vector<std::string> workers;
+  /// Identity presented to workers in HELLO; empty = "coordinator-<pid>".
+  std::string node_id;
+  /// Fleet jobs running concurrently.
+  std::size_t max_concurrent = 2;
+  /// Probe interval and consecutive misses before eviction.
+  std::chrono::milliseconds hb_interval{1000};
+  std::size_t hb_miss_limit = 3;
+  /// Bound on worker connects (probes, dispatch, remote cancel), ms.
+  int connect_timeout_ms = 2000;
+  /// Dispatch attempts per sub-range before a fleet job fails.
+  std::size_t max_attempts = 6;
+  /// Client admission quotas (same semantics as the worker daemon).
+  server::JobScheduler::Quotas quotas;
+  /// Log stream; null = quiet.
+  std::ostream* log = nullptr;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig config);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds the listeners, starts the acceptors and the heartbeat loop
+  /// (after one synchronous probe sweep, so workers that are already up
+  /// are live before the first SUBMIT can arrive).
+  void start();
+  /// Blocks until shutdown (protocol request or request_stop), then
+  /// tears everything down. start() + serve() is the main loop.
+  void serve();
+  void request_stop(bool drain);
+
+  /// One synchronous probe sweep over every registered worker — the
+  /// heartbeat loop calls this each interval; tests call it directly to
+  /// step liveness deterministically.
+  void probe_workers();
+
+  [[nodiscard]] const CoordinatorConfig& config() const { return config_; }
+  [[nodiscard]] WorkerRegistry& registry() { return registry_; }
+  [[nodiscard]] server::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] server::JobScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  void accept_loop(int listen_fd);
+  void handle_connection(int fd, std::size_t connection_id);
+  bool handle_request(const server::Request& request,
+                      const std::string& conn_client, int fd);
+  void heartbeat_loop();
+
+  void run_fleet_job(const server::JobSpec& spec,
+                     const server::JobScheduler::Handle& handle);
+  std::shared_ptr<server::EventLog> event_log(const std::string& id);
+  void end_event_log(const std::string& id, server::JobState state,
+                     const std::string& error);
+  [[nodiscard]] util::Json job_json(const server::JobScheduler::Info& info)
+      const;
+  [[nodiscard]] util::Json workers_json() const;
+  [[nodiscard]] util::Json metrics_json();
+  void log_line(const std::string& line);
+  void teardown(bool drain);
+
+  CoordinatorConfig config_;
+  WorkerRegistry registry_;
+
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> accept_threads_;
+  std::thread heartbeat_thread_;
+
+  mutable std::mutex mutex_;  // connections, logs, specs
+  std::vector<std::pair<std::size_t, int>> connections_;
+  std::vector<std::thread> connection_threads_;
+  std::size_t next_connection_ = 0;
+  std::map<std::string, std::shared_ptr<server::EventLog>> logs_;
+  std::map<std::string, server::JobSpec> specs_;
+
+  /// Destroyed after the scheduler (declared before it): job bodies and
+  /// the heartbeat loop observe into this registry.
+  server::MetricsRegistry metrics_;
+
+  mutable std::mutex log_mutex_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stop_drain_ = true;
+  std::mutex teardown_mutex_;
+  bool torn_down_ = false;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> hb_stop_{false};
+
+  /// Declared LAST: its destructor joins fleet job bodies, which may
+  /// touch any member above.
+  std::unique_ptr<server::JobScheduler> scheduler_;
+};
+
+}  // namespace syn::fleet

@@ -1,0 +1,164 @@
+#include "fleet/registry.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace syn::fleet {
+
+WorkerEndpoint WorkerEndpoint::parse(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("worker endpoint must not be empty");
+  }
+  WorkerEndpoint ep;
+  ep.label = text;
+  const auto colon = text.rfind(':');
+  // Anything with a '/' is a filesystem path even if it contains ':';
+  // anything without a ':' is a (relative) socket path.
+  if (text.find('/') != std::string::npos || colon == std::string::npos) {
+    ep.kind = Kind::kUnix;
+    ep.socket = text;
+    return ep;
+  }
+  ep.kind = Kind::kTcp;
+  ep.host = text.substr(0, colon);
+  const std::string port = text.substr(colon + 1);
+  char* end = nullptr;
+  const long value = std::strtol(port.c_str(), &end, 10);
+  if (ep.host.empty() || port.empty() || *end != '\0' || value < 1 ||
+      value > 65535) {
+    throw std::invalid_argument("worker endpoint '" + text +
+                                "' is not host:port or a socket path");
+  }
+  ep.port = static_cast<int>(value);
+  return ep;
+}
+
+const char* to_string(WorkerState state) {
+  switch (state) {
+    case WorkerState::kUnknown: return "unknown";
+    case WorkerState::kLive: return "live";
+    case WorkerState::kSuspect: return "suspect";
+    case WorkerState::kDead: return "dead";
+  }
+  return "?";
+}
+
+void WorkerRegistry::add(const std::string& endpoint) {
+  WorkerEndpoint ep = WorkerEndpoint::parse(endpoint);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const WorkerInfo& info : workers_) {
+    if (info.endpoint.label == ep.label) return;
+  }
+  WorkerInfo info;
+  info.endpoint = std::move(ep);
+  workers_.push_back(std::move(info));
+}
+
+bool WorkerRegistry::note_success(const std::string& label,
+                                  const Probe& probe) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (WorkerInfo& info : workers_) {
+    if (info.endpoint.label != label) continue;
+    const bool registered = info.state == WorkerState::kUnknown ||
+                            info.state == WorkerState::kDead;
+    if (info.state == WorkerState::kDead) ++reregistrations_;
+    info.state = WorkerState::kLive;
+    info.missed = 0;
+    info.node = probe.node;
+    info.rtt_ms = probe.rtt_ms;
+    info.running = probe.running;
+    info.queued = probe.queued;
+    info.stall_ms = probe.stall_ms;
+    ++info.heartbeats;
+    return registered;
+  }
+  return false;
+}
+
+WorkerState WorkerRegistry::note_failure(const std::string& label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (WorkerInfo& info : workers_) {
+    if (info.endpoint.label != label) continue;
+    ++info.failures;
+    ++info.missed;
+    // kUnknown stays kUnknown (never seen, nothing to evict); otherwise
+    // one miss makes a live worker suspect and miss_limit kills it.
+    if (info.state == WorkerState::kLive) info.state = WorkerState::kSuspect;
+    if (info.state == WorkerState::kSuspect && info.missed >= miss_limit_) {
+      info.state = WorkerState::kDead;
+      ++evictions_;
+    }
+    return info.state;
+  }
+  return WorkerState::kUnknown;
+}
+
+void WorkerRegistry::note_dispatch(const std::string& label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (WorkerInfo& info : workers_) {
+    if (info.endpoint.label == label) {
+      ++info.dispatched;
+      return;
+    }
+  }
+}
+
+std::vector<WorkerInfo> WorkerRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return workers_;
+}
+
+std::vector<WorkerEndpoint> WorkerRegistry::live() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkerEndpoint> out;
+  for (const WorkerInfo& info : workers_) {
+    if (info.state == WorkerState::kLive) out.push_back(info.endpoint);
+  }
+  return out;
+}
+
+std::vector<WorkerEndpoint> WorkerRegistry::endpoints() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkerEndpoint> out;
+  out.reserve(workers_.size());
+  for (const WorkerInfo& info : workers_) out.push_back(info.endpoint);
+  return out;
+}
+
+std::size_t WorkerRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+std::size_t WorkerRegistry::count_state(WorkerState state) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const WorkerInfo& info : workers_) {
+    if (info.state == state) ++n;
+  }
+  return n;
+}
+
+std::size_t WorkerRegistry::live_count() const {
+  return count_state(WorkerState::kLive);
+}
+
+std::size_t WorkerRegistry::suspect_count() const {
+  return count_state(WorkerState::kSuspect);
+}
+
+std::size_t WorkerRegistry::dead_count() const {
+  return count_state(WorkerState::kDead);
+}
+
+std::uint64_t WorkerRegistry::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::uint64_t WorkerRegistry::reregistrations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reregistrations_;
+}
+
+}  // namespace syn::fleet

@@ -1,0 +1,135 @@
+// WorkerRegistry: fleet membership and liveness for the coordinator.
+//
+// Workers are syn_daemon instances addressed by endpoint (unix socket
+// path or host:port) and identified by the node id their HELLO reply
+// carries. The coordinator's heartbeat loop probes every endpoint each
+// interval and feeds the verdicts in here; the registry runs the
+// liveness state machine:
+//
+//      add()            probe ok                probe ok
+//   ┌─────────┐      ┌──────────┐  probe fail  ┌─────────┐
+//   │ kUnknown│ ───► │  kLive   │ ───────────► │ kSuspect│
+//   └─────────┘      └──────────┘              └─────────┘
+//        │   ▲            ▲      ◄──probe ok───     │
+//        │   └ probe ok   │                         │ miss_limit
+//        │     (register) │  probe ok               ▼ consecutive misses
+//        │                │  (re-register)     ┌─────────┐
+//        └── miss_limit ──┼──────────────────► │  kDead  │ (evicted)
+//                         └─────────────────── └─────────┘
+//
+// A kDead worker is evicted from dispatch (its running sub-ranges are
+// re-dispatched by the FleetDispatcher), but its endpoint keeps being
+// probed — a worker that comes back re-registers and serves again.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace syn::fleet {
+
+/// A worker address: "host:port" (loopback TCP) or a unix socket path
+/// (anything containing '/' or without ':'). `label` is the canonical
+/// form used as the registry key.
+struct WorkerEndpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::filesystem::path socket;  ///< kUnix
+  std::string host;              ///< kTcp
+  int port = 0;                  ///< kTcp
+  std::string label;
+
+  /// Parses an endpoint string; throws std::invalid_argument on an
+  /// empty string or an unparsable port.
+  static WorkerEndpoint parse(const std::string& text);
+};
+
+enum class WorkerState { kUnknown, kLive, kSuspect, kDead };
+
+[[nodiscard]] const char* to_string(WorkerState state);
+
+struct WorkerInfo {
+  WorkerEndpoint endpoint;
+  WorkerState state = WorkerState::kUnknown;
+  /// Node id from the last successful HELLO/HEARTBEAT (empty before the
+  /// first contact).
+  std::string node;
+  /// Consecutive failed probes (reset on success).
+  std::size_t missed = 0;
+  /// Last successful probe round-trip, ms (-1 before the first).
+  double rtt_ms = -1.0;
+  /// Last heartbeat payload (worker-side load).
+  std::uint64_t running = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t stall_ms = 0;
+  /// Lifetime accounting.
+  std::uint64_t heartbeats = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t dispatched = 0;  ///< sub-jobs ever assigned here
+};
+
+class WorkerRegistry {
+ public:
+  /// Consecutive probe failures that evict a worker (kDead).
+  explicit WorkerRegistry(std::size_t miss_limit = 3)
+      : miss_limit_(miss_limit == 0 ? 1 : miss_limit) {}
+
+  /// Registers an endpoint (state kUnknown until the first probe).
+  /// Duplicate labels are ignored.
+  void add(const std::string& endpoint);
+
+  /// One successful probe's payload.
+  struct Probe {
+    std::string node;
+    double rtt_ms = 0.0;
+    std::uint64_t running = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t stall_ms = 0;
+  };
+
+  /// Records a successful probe: resets the miss counter and moves the
+  /// worker to kLive. Returns true when this (re-)registered the worker
+  /// (kUnknown or kDead before). Unknown labels are ignored (false).
+  bool note_success(const std::string& label, const Probe& probe);
+
+  /// Records a failed probe (or a failed dispatch/stream): bumps the
+  /// consecutive-miss counter, demotes kLive to kSuspect, and evicts to
+  /// kDead at miss_limit. Returns the new state.
+  WorkerState note_failure(const std::string& label);
+
+  /// Accounts a sub-job assignment.
+  void note_dispatch(const std::string& label);
+
+  [[nodiscard]] std::vector<WorkerInfo> snapshot() const;
+  /// Endpoints currently kLive, in registration order.
+  [[nodiscard]] std::vector<WorkerEndpoint> live() const;
+  /// Every registered endpoint, in registration order (the heartbeat
+  /// loop probes all of them, dead ones included — that is how a
+  /// returning worker re-registers).
+  [[nodiscard]] std::vector<WorkerEndpoint> endpoints() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t live_count() const;
+  [[nodiscard]] std::size_t suspect_count() const;
+  [[nodiscard]] std::size_t dead_count() const;
+  /// Workers evicted (transitions into kDead) / re-registered
+  /// (kDead -> kLive), lifetime totals.
+  [[nodiscard]] std::uint64_t evictions() const;
+  [[nodiscard]] std::uint64_t reregistrations() const;
+  [[nodiscard]] std::size_t miss_limit() const { return miss_limit_; }
+
+ private:
+  [[nodiscard]] std::size_t count_state(WorkerState state) const;
+
+  const std::size_t miss_limit_;
+  mutable std::mutex mutex_;
+  std::vector<WorkerInfo> workers_;  // registration order
+  std::uint64_t evictions_ = 0;
+  std::uint64_t reregistrations_ = 0;
+};
+
+}  // namespace syn::fleet

@@ -1,5 +1,6 @@
 #include "server/client.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <stdexcept>
@@ -12,13 +13,13 @@ namespace syn::server {
 using util::Json;
 
 ClientConnection ClientConnection::connect_unix(
-    const std::filesystem::path& path) {
-  return ClientConnection(io::connect_unix(path));
+    const std::filesystem::path& path, int timeout_ms) {
+  return ClientConnection(io::connect_unix(path, timeout_ms));
 }
 
 ClientConnection ClientConnection::connect_tcp(const std::string& host,
-                                               int port) {
-  return ClientConnection(io::connect_tcp(host, port));
+                                               int port, int timeout_ms) {
+  return ClientConnection(io::connect_tcp(host, port, timeout_ms));
 }
 
 ClientConnection::~ClientConnection() {
@@ -108,6 +109,33 @@ Json ClientConnection::metrics() {
   Request req;
   req.cmd = Request::Cmd::kMetrics;
   return checked_request(req).at("metrics");
+}
+
+Json ClientConnection::hello(const std::string& node) {
+  Request req;
+  req.cmd = Request::Cmd::kHello;
+  req.node = node;
+  return checked_request(req);
+}
+
+Json ClientConnection::heartbeat() {
+  Request req;
+  req.cmd = Request::Cmd::kHeartbeat;
+  return checked_request(req);
+}
+
+Json ClientConnection::workers() {
+  Request req;
+  req.cmd = Request::Cmd::kWorkers;
+  return checked_request(req).at("workers");
+}
+
+void ClientConnection::set_recv_timeout(int timeout_ms) {
+  if (fd_ >= 0) io::set_recv_timeout(fd_, timeout_ms);
+}
+
+void ClientConnection::abort() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void ClientConnection::shutdown(bool drain) {

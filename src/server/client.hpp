@@ -25,8 +25,12 @@ struct DaemonError : std::runtime_error {
 
 class ClientConnection {
  public:
-  static ClientConnection connect_unix(const std::filesystem::path& path);
-  static ClientConnection connect_tcp(const std::string& host, int port);
+  /// timeout_ms > 0 bounds the connect itself (io::ConnectError on an
+  /// unreachable endpoint); 0 = plain blocking connect.
+  static ClientConnection connect_unix(const std::filesystem::path& path,
+                                       int timeout_ms = 0);
+  static ClientConnection connect_tcp(const std::string& host, int port,
+                                      int timeout_ms = 0);
   ~ClientConnection();
 
   ClientConnection(ClientConnection&& other) noexcept;
@@ -52,7 +56,23 @@ class ClientConnection {
   util::Json cancel(const std::string& id);
   /// The METRICS payload (the "metrics" object of the response).
   util::Json metrics();
+  /// HELLO: announces `node` (may be empty) and returns the peer's
+  /// identity payload (server, role, node, pid).
+  util::Json hello(const std::string& node = "");
+  /// HEARTBEAT: liveness probe; returns the peer's load payload.
+  util::Json heartbeat();
+  /// WORKERS (coordinator only): the fleet membership snapshot array.
+  util::Json workers();
   void shutdown(bool drain);
+
+  /// Bounds every subsequent recv (a silent peer surfaces as EOF after
+  /// timeout_ms); 0 clears the bound.
+  void set_recv_timeout(int timeout_ms);
+  /// Aborts the connection from another thread: both directions are shut
+  /// down, so a reader blocked in recv_line / stream() wakes with EOF.
+  /// The fd itself is closed only by the destructor (no use-after-close
+  /// race with the blocked reader).
+  void abort();
 
   /// STREAM: replays + follows job events, invoking on_event per line
   /// until the terminal "end" event (which is also passed to on_event).

@@ -98,64 +98,6 @@ FittedBackend make_default_backend(const std::string& name,
           }};
 }
 
-// ---------------------------------------------------------------- EventLog
-
-void Daemon::EventLog::append(std::string line) {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return;  // terminal event already recorded
-    lines_.push_back(std::move(line));
-    while (lines_.size() > kMaxBacklog) {
-      lines_.pop_front();
-      ++base_;
-    }
-  }
-  grew_.notify_all();
-}
-
-void Daemon::EventLog::close() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-  }
-  grew_.notify_all();
-}
-
-void Daemon::EventLog::close_with(std::string line) {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return;
-    lines_.push_back(std::move(line));
-    while (lines_.size() > kMaxBacklog) {
-      lines_.pop_front();
-      ++base_;
-    }
-    closed_ = true;
-  }
-  grew_.notify_all();
-}
-
-bool Daemon::EventLog::closed() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return closed_;
-}
-
-std::size_t Daemon::EventLog::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return lines_.size();
-}
-
-std::optional<std::pair<std::size_t, std::string>> Daemon::EventLog::wait_from(
-    std::size_t seq) const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  grew_.wait(lock, [&] { return closed_ || seq < base_ + lines_.size(); });
-  const std::size_t first = std::max(seq, base_);
-  if (first < base_ + lines_.size()) {
-    return std::make_pair(first, lines_[first - base_]);
-  }
-  return std::nullopt;
-}
-
 // ------------------------------------------------------------------ Daemon
 
 Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
@@ -166,6 +108,9 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
     config_.factory = [log = config_.log](const std::string& name) {
       return make_default_backend(name, log);
     };
+  }
+  if (config_.node_id.empty()) {
+    config_.node_id = "worker-" + std::to_string(::getpid());
   }
   // Latency tracks re-bounded from the default geometry: dispatch waits
   // are short (10 ms resolution), job durations are long.
@@ -206,6 +151,10 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
   registry_.register_gauge("expired_ring", [this] {
     const std::lock_guard<std::mutex> lock(mutex_);
     return static_cast<std::int64_t>(expired_order_.size());
+  });
+  registry_.register_gauge("sink_stall_ms", [this] {
+    return static_cast<std::int64_t>(
+        sink_stall_us_.load(std::memory_order_relaxed) / 1000);
   });
 
   JobScheduler::Options scheduler_options;
@@ -375,6 +324,7 @@ Json Daemon::job_json(const JobScheduler::Info& info) const {
     if (it != specs_.end()) {
       json.set("count", it->second.count);
       json.set("seed", it->second.seed);
+      if (it->second.start != 0) json.set("start", it->second.start);
       json.set("backend", it->second.backend);
       json.set("out", it->second.out.generic_string());
     }
@@ -394,6 +344,40 @@ bool Daemon::handle_request(const Request& request,
       Json json = ok_response();
       json.set("server", "syn_daemon");
       return respond(json);
+    }
+
+    case Request::Cmd::kHello: {
+      // Fleet membership handshake: a coordinator introduces itself (its
+      // node id rides in request.node) and learns who this worker is.
+      if (!request.node.empty()) {
+        log_line("hello from " + request.node + " (" + conn_client + ")");
+      }
+      Json json = ok_response();
+      json.set("server", "syn_daemon");
+      json.set("role", "worker");
+      json.set("node", config_.node_id);
+      json.set("pid", static_cast<std::int64_t>(::getpid()));
+      return respond(json);
+    }
+
+    case Request::Cmd::kHeartbeat: {
+      // Liveness probe, answered from scheduler counters only — never
+      // blocked behind a running job, so a busy worker still beats.
+      const JobScheduler::Counts counts = scheduler_->counts();
+      Json json = ok_response();
+      json.set("node", config_.node_id);
+      json.set("running", counts.running);
+      json.set("queued", counts.queued);
+      json.set("stall_ms",
+               sink_stall_us_.load(std::memory_order_relaxed) / 1000);
+      json.set("designs_committed", registry_.counter("designs_committed"));
+      return respond(json);
+    }
+
+    case Request::Cmd::kWorkers: {
+      return respond(error_response(
+          "this is a worker daemon, not a coordinator (no fleet registry)",
+          kErrorCodeNotCoordinator));
     }
 
     case Request::Cmd::kSubmit: {
@@ -533,14 +517,14 @@ bool Daemon::handle_request(const Request& request,
   return respond(error_response("unhandled command"));
 }
 
-std::shared_ptr<Daemon::EventLog> Daemon::event_log(const std::string& id) {
+std::shared_ptr<EventLog> Daemon::event_log(const std::string& id) {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::shared_ptr<EventLog>& slot = logs_[id];
   if (!slot) slot = std::make_shared<EventLog>();
   return slot;
 }
 
-std::shared_ptr<Daemon::EventLog> Daemon::event_log_unless_expired(
+std::shared_ptr<EventLog> Daemon::event_log_unless_expired(
     const std::string& id) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (expired_.count(id) != 0) return nullptr;
@@ -739,8 +723,18 @@ void Daemon::run_generation_job(const JobSpec& spec,
            registry_.observe("group_commit_ms", ms_between(last_commit, now));
            last_commit = now;
            registry_.inc("designs_committed", designs);
+         },
+         // Producer-side hook: per-backend generation latency (one sample
+         // per group) and the cumulative sink write-stall gauge.
+         .on_group_generated = [this, &spec](std::size_t, double generate_ms,
+                                             double stall_ms) {
+           registry_.observe("generate_" + spec.backend + "_ms", generate_ms);
+           sink_stall_us_.fetch_add(
+               static_cast<std::uint64_t>(stall_ms * 1000.0),
+               std::memory_order_relaxed);
          }});
-    const std::size_t resumed = std::min(disk.resume_index(), spec.count);
+    const std::size_t resumed =
+        std::min(std::max(disk.resume_index(), spec.start), spec.count);
     handle.set_progress([&svc, resumed] {
       return JobProgress{resumed + svc.designs_written(),
                          svc.designs_written(), svc.groups_pumped()};
@@ -765,6 +759,7 @@ void Daemon::run_generation_job(const JobSpec& spec,
              "/" + std::to_string(spec.count) + ")");
     svc.run({.count = spec.count,
              .seed = spec.seed,
+             .first = spec.start,
              .attrs = backend.attrs,
              .cancel = handle.cancel_token()},
             tee);

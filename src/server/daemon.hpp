@@ -41,6 +41,7 @@
 
 #include "core/generator.hpp"
 #include "core/registry.hpp"
+#include "server/event_log.hpp"
 #include "server/metrics.hpp"
 #include "server/protocol.hpp"
 #include "server/scheduler.hpp"
@@ -88,6 +89,9 @@ struct DaemonConfig {
   std::filesystem::path socket_path;
   /// Also listen on 127.0.0.1:tcp_port (0 = unix socket only).
   int tcp_port = 0;
+  /// Identity reported to HELLO/HEARTBEAT (fleet membership is keyed on
+  /// it); empty = "worker-<pid>".
+  std::string node_id;
   /// Jobs running concurrently (each parallelizes internally via
   /// spec.threads).
   std::size_t max_concurrent = 1;
@@ -146,44 +150,6 @@ class Daemon {
   [[nodiscard]] MetricsRegistry& metrics() { return registry_; }
 
  private:
-  /// Replayable per-job event feed. STREAM subscribers read from
-  /// sequence 0 (replay) and block at the tail (follow) until the job's
-  /// terminal "end" event closes the log. Retention is bounded: only the
-  /// most recent kMaxBacklog lines stay in memory (a resident daemon
-  /// must not hold every record event of every finished job forever), so
-  /// a subscriber attaching late replays the retained window — the
-  /// terminal event, appended last, is always retained.
-  class EventLog {
-   public:
-    /// Lines retained per job (~150 B each, so a few hundred KB worst
-    /// case). Live followers are unaffected — they consume as lines are
-    /// appended, long before the window slides past them.
-    static constexpr std::size_t kMaxBacklog = 4096;
-
-    void append(std::string line);
-    void close();
-    /// Atomically appends the terminal line and closes; no-op when
-    /// already closed — callers may race (job completion vs daemon
-    /// teardown) and exactly one terminal event must win.
-    void close_with(std::string line);
-    [[nodiscard]] bool closed() const;
-    /// Currently retained lines (the METRICS event-log-occupancy gauge).
-    [[nodiscard]] std::size_t size() const;
-    /// First retained line with sequence >= seq, blocking while the log
-    /// is open with nothing that new yet; nullopt once closed and
-    /// drained. Returns the line's actual sequence so callers resume at
-    /// (returned seq + 1) even across a slid window.
-    [[nodiscard]] std::optional<std::pair<std::size_t, std::string>>
-    wait_from(std::size_t seq) const;
-
-   private:
-    mutable std::mutex mutex_;
-    mutable std::condition_variable grew_;
-    std::deque<std::string> lines_;
-    std::size_t base_ = 0;  ///< sequence number of lines_.front()
-    bool closed_ = false;
-  };
-
   void accept_loop(int listen_fd);
   void handle_connection(int fd, std::size_t connection_id);
   /// One request -> one response (STREAM additionally writes event lines
@@ -239,6 +205,11 @@ class Daemon {
   };
   std::map<std::string, std::shared_ptr<BackendEntry>> backends_;
   std::condition_variable backend_ready_;
+
+  /// Cumulative microseconds generation producers spent blocked pushing
+  /// into the sink queue (backpressure), across all jobs — rendered as
+  /// the sink_stall_ms gauge so a slow disk/synth consumer is visible.
+  std::atomic<std::uint64_t> sink_stall_us_{0};
 
   // ---- Terminal-job GC state (guarded by mutex_) ---------------------
   struct TerminalRecord {

@@ -1,0 +1,63 @@
+#include "server/event_log.hpp"
+
+#include <algorithm>
+
+namespace syn::server {
+
+void EventLog::append(std::string line) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;  // terminal event already recorded
+    lines_.push_back(std::move(line));
+    while (lines_.size() > kMaxBacklog) {
+      lines_.pop_front();
+      ++base_;
+    }
+  }
+  grew_.notify_all();
+}
+
+void EventLog::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  grew_.notify_all();
+}
+
+void EventLog::close_with(std::string line) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    lines_.push_back(std::move(line));
+    while (lines_.size() > kMaxBacklog) {
+      lines_.pop_front();
+      ++base_;
+    }
+    closed_ = true;
+  }
+  grew_.notify_all();
+}
+
+bool EventLog::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t EventLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+std::optional<std::pair<std::size_t, std::string>> EventLog::wait_from(
+    std::size_t seq) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  grew_.wait(lock, [&] { return closed_ || seq < base_ + lines_.size(); });
+  const std::size_t first = std::max(seq, base_);
+  if (first < base_ + lines_.size()) {
+    return std::make_pair(first, lines_[first - base_]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace syn::server

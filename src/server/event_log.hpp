@@ -1,0 +1,52 @@
+// Replayable per-job event feed, shared by the daemon and the fleet
+// coordinator. STREAM subscribers read from sequence 0 (replay) and block
+// at the tail (follow) until the job's terminal "end" event closes the
+// log. Retention is bounded: only the most recent kMaxBacklog lines stay
+// in memory (a resident server must not hold every record event of every
+// finished job forever), so a subscriber attaching late replays the
+// retained window — the terminal event, appended last, is always
+// retained.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace syn::server {
+
+class EventLog {
+ public:
+  /// Lines retained per job (~150 B each, so a few hundred KB worst
+  /// case). Live followers are unaffected — they consume as lines are
+  /// appended, long before the window slides past them.
+  static constexpr std::size_t kMaxBacklog = 4096;
+
+  void append(std::string line);
+  void close();
+  /// Atomically appends the terminal line and closes; no-op when
+  /// already closed — callers may race (job completion vs server
+  /// teardown) and exactly one terminal event must win.
+  void close_with(std::string line);
+  [[nodiscard]] bool closed() const;
+  /// Currently retained lines (the METRICS event-log-occupancy gauge).
+  [[nodiscard]] std::size_t size() const;
+  /// First retained line with sequence >= seq, blocking while the log
+  /// is open with nothing that new yet; nullopt once closed and
+  /// drained. Returns the line's actual sequence so callers resume at
+  /// (returned seq + 1) even across a slid window.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::string>>
+  wait_from(std::size_t seq) const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable grew_;
+  std::deque<std::string> lines_;
+  std::size_t base_ = 0;  ///< sequence number of lines_.front()
+  bool closed_ = false;
+};
+
+}  // namespace syn::server

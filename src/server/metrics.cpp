@@ -147,4 +147,32 @@ std::string render_metrics_text(const Json& snapshot) {
   return out;
 }
 
+std::vector<std::pair<std::string, double>> flatten_metrics(
+    const Json& snapshot) {
+  std::vector<std::pair<std::string, double>> out;
+  const auto leaf = [&out](const std::string& name, const Json& value) {
+    if (value.is_number()) out.emplace_back(name, value.number());
+  };
+  if (!snapshot.is_object()) return out;
+  // Same traversal as render_metrics_text, so the two stay name-for-name
+  // consistent (watch-mode deltas match the scrape lines).
+  for (const auto& [section, body] : snapshot.object()) {
+    if (body.is_number()) {
+      leaf(section, body);
+      continue;
+    }
+    if (!body.is_object()) continue;
+    for (const auto& [name, value] : body.object()) {
+      if (value.is_object()) {
+        for (const auto& [field, inner] : value.object()) {
+          leaf(section + "_" + name + "_" + field, inner);
+        }
+      } else {
+        leaf(section + "_" + name, value);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace syn::server

@@ -98,4 +98,12 @@ class MetricsRegistry {
 /// One "name value" pair per line, lines in snapshot order.
 [[nodiscard]] std::string render_metrics_text(const util::Json& snapshot);
 
+/// The numeric leaves of a METRICS snapshot as (flattened name, value)
+/// pairs, named exactly like render_metrics_text minus the "syn_" prefix
+/// (e.g. "counters_jobs_submitted"). This is the diffable form behind
+/// `synctl metrics --watch`: two scrapes flatten to comparable keys, and
+/// the deltas are the rates.
+[[nodiscard]] std::vector<std::pair<std::string, double>> flatten_metrics(
+    const util::Json& snapshot);
+
 }  // namespace syn::server

@@ -11,6 +11,7 @@ Json to_json(const JobSpec& spec) {
   Json json;
   json.set("count", spec.count);
   json.set("seed", spec.seed);
+  if (spec.start != defaults.start) json.set("start", spec.start);
   if (spec.backend != defaults.backend) json.set("backend", spec.backend);
   if (spec.out != defaults.out) json.set("out", spec.out.generic_string());
   if (spec.batch != defaults.batch) json.set("batch", spec.batch);
@@ -49,6 +50,7 @@ JobSpec job_spec_from_json(const Json& json) {
   protocol_field("spec", [&] {
     spec.count = json.at("count").u64();
     spec.seed = json.at("seed").u64();
+    if (const Json* v = json.find("start")) spec.start = v->u64();
     if (const Json* v = json.find("backend")) spec.backend = v->str();
     if (const Json* v = json.find("out")) spec.out = v->str();
     if (const Json* v = json.find("batch")) spec.batch = v->u64();
@@ -63,6 +65,9 @@ JobSpec job_spec_from_json(const Json& json) {
     }
   });
   if (spec.count == 0) throw ProtocolError("spec.count must be positive");
+  if (spec.start >= spec.count) {
+    throw ProtocolError("spec.start must be < spec.count");
+  }
   if (spec.batch == 0) throw ProtocolError("spec.batch must be positive");
   if (spec.queue == 0) throw ProtocolError("spec.queue must be positive");
   if (spec.threads < 1) throw ProtocolError("spec.threads must be >= 1");
@@ -105,6 +110,12 @@ std::string to_string(Request::Cmd cmd) {
       return "metrics";
     case Request::Cmd::kPing:
       return "ping";
+    case Request::Cmd::kHello:
+      return "hello";
+    case Request::Cmd::kHeartbeat:
+      return "heartbeat";
+    case Request::Cmd::kWorkers:
+      return "workers";
     case Request::Cmd::kShutdown:
       return "shutdown";
   }
@@ -129,12 +140,17 @@ std::string encode(const Request& request) {
         json.set("filter", to_string(request.filter));
       }
       break;
+    case Request::Cmd::kHello:
+      if (!request.node.empty()) json.set("node", request.node);
+      break;
     case Request::Cmd::kShutdown:
       json.set("drain", request.drain);
       break;
     case Request::Cmd::kList:
     case Request::Cmd::kMetrics:
     case Request::Cmd::kPing:
+    case Request::Cmd::kHeartbeat:
+    case Request::Cmd::kWorkers:
       break;
   }
   return json.dump();
@@ -179,6 +195,15 @@ Request parse_request(const std::string& line) {
     request.cmd = Request::Cmd::kMetrics;
   } else if (cmd == "ping") {
     request.cmd = Request::Cmd::kPing;
+  } else if (cmd == "hello") {
+    request.cmd = Request::Cmd::kHello;
+    if (const Json* node = json.find("node")) {
+      request.node = protocol_field("node", [&] { return node->str(); });
+    }
+  } else if (cmd == "heartbeat") {
+    request.cmd = Request::Cmd::kHeartbeat;
+  } else if (cmd == "workers") {
+    request.cmd = Request::Cmd::kWorkers;
   } else if (cmd == "shutdown") {
     request.cmd = Request::Cmd::kShutdown;
     if (const Json* drain = json.find("drain")) {

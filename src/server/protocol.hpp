@@ -13,11 +13,14 @@
 //             | {"cmd":"stream","id":ID,"filter":FILTER?}
 //             | {"cmd":"metrics"}
 //             | {"cmd":"ping"}
+//             | {"cmd":"hello","node":NAME?}
+//             | {"cmd":"heartbeat"}
+//             | {"cmd":"workers"}
 //             | {"cmd":"shutdown","drain":BOOL?}
 //   FILTER   := "all" | "records" | "checkpoints"     (default "all")
-//   SPEC     := {"count":N,"seed":S,"backend":B?,"out":DIR?,"batch":K?,
-//                "threads":T?,"shard_size":N?,"queue":N?,"fresh":BOOL?,
-//                "synth_stats":BOOL?}
+//   SPEC     := {"count":N,"seed":S,"start":N?,"backend":B?,"out":DIR?,
+//                "batch":K?,"threads":T?,"shard_size":N?,"queue":N?,
+//                "fresh":BOOL?,"synth_stats":BOOL?}
 //   response := {"ok":true, ...}          (request-specific payload)
 //             | {"ok":false,"error":MSG,"code":CODE?}
 //   CODE     := "quota_exceeded" | "expired" | ...   (machine-readable
@@ -54,6 +57,11 @@ struct ProtocolError : std::runtime_error {
 struct JobSpec {
   std::size_t count = 0;
   std::uint64_t seed = 0;
+  /// First design index this job produces (the job covers [start, count)).
+  /// The prefix property of util::split_streams makes a sub-range job
+  /// byte-identical to the same slice of a full [0, count) run, which is
+  /// what lets a fleet coordinator shard one seed range across workers.
+  std::size_t start = 0;
   std::string backend = "syncircuit";
   std::filesystem::path out = "synthetic_dataset";
   std::size_t batch = 8;
@@ -82,7 +90,7 @@ enum class StreamFilter { kAll, kRecords, kCheckpoints };
 
 struct Request {
   enum class Cmd { kSubmit, kStatus, kList, kCancel, kStream, kMetrics,
-                   kPing, kShutdown };
+                   kPing, kHello, kHeartbeat, kWorkers, kShutdown };
 
   Cmd cmd = Cmd::kPing;
   /// Target job id (status / cancel / stream).
@@ -92,6 +100,9 @@ struct Request {
   std::string client;
   /// Submit payload.
   JobSpec spec;
+  /// Hello: the caller's node id (a coordinator introducing itself to a
+  /// worker; empty = anonymous probe).
+  std::string node;
   /// Stream: which event kinds to deliver.
   StreamFilter filter = StreamFilter::kAll;
   /// Shutdown: finish queued + running jobs first (true) or cancel them
@@ -123,5 +134,9 @@ struct Request {
 inline constexpr const char* kErrorCodeQuota = "quota_exceeded";
 inline constexpr const char* kErrorCodeExpired = "expired";
 inline constexpr const char* kErrorCodeUnknownJob = "unknown_job";
+/// A fleet coordinator rejecting SUBMIT because no worker is live.
+inline constexpr const char* kErrorCodeNoWorkers = "no_workers";
+/// WORKERS sent to a plain daemon (only coordinators track a fleet).
+inline constexpr const char* kErrorCodeNotCoordinator = "not_coordinator";
 
 }  // namespace syn::server

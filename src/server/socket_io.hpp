@@ -7,10 +7,19 @@
 
 #include <filesystem>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace syn::server::io {
+
+/// A failed or timed-out connect, naming the endpoint and the reason. A
+/// distinct type so callers that probe liveness (a fleet coordinator
+/// heartbeating its workers) can classify "endpoint unreachable" without
+/// string-matching generic runtime_errors.
+struct ConnectError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Writes the whole buffer; false when the peer is gone (EPIPE and
 /// friends).
@@ -29,7 +38,18 @@ int listen_unix(const std::filesystem::path& path, int backlog);
 /// Binds + listens on 127.0.0.1:port. Throws std::runtime_error.
 int listen_tcp(int port, int backlog);
 
-int connect_unix(const std::filesystem::path& path);
-int connect_tcp(const std::string& host, int port);
+/// Connects to an endpoint, throwing ConnectError on failure. With
+/// timeout_ms > 0 the connect itself is non-blocking and bounded: an
+/// unreachable endpoint (e.g. a TCP address that silently drops SYNs)
+/// reports "timed out" after timeout_ms instead of hanging the caller
+/// for the kernel's minutes-long default. timeout_ms == 0 keeps the
+/// plain blocking connect. The returned fd is blocking either way.
+int connect_unix(const std::filesystem::path& path, int timeout_ms = 0);
+int connect_tcp(const std::string& host, int port, int timeout_ms = 0);
+
+/// Bounds every subsequent recv on `fd` (SO_RCVTIMEO): a peer that stops
+/// answering surfaces as EOF to read_line after timeout_ms instead of
+/// blocking the reader forever. 0 clears the bound.
+void set_recv_timeout(int fd, int timeout_ms);
 
 }  // namespace syn::server::io

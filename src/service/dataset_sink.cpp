@@ -31,6 +31,41 @@ namespace {
 /// — the fail-fast that stops two jobs interleaving one dir); a dead or
 /// unparsable pid is a stale lock from a crashed run and is broken. One
 /// retry after breaking a stale lock; losing that race throws.
+void acquire_lockfile(const std::filesystem::path& path);
+
+}  // namespace
+
+DirLock::DirLock(std::filesystem::path dir) : dir_(std::move(dir)) {
+  acquire_lockfile(dir_ / ".lock");
+  held_ = true;
+}
+
+DirLock::~DirLock() { release(); }
+
+DirLock::DirLock(DirLock&& other) noexcept
+    : dir_(std::move(other.dir_)), held_(other.held_) {
+  other.held_ = false;
+}
+
+DirLock& DirLock::operator=(DirLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    dir_ = std::move(other.dir_);
+    held_ = other.held_;
+    other.held_ = false;
+  }
+  return *this;
+}
+
+void DirLock::release() {
+  if (!held_) return;
+  held_ = false;
+  std::error_code ignored;
+  std::filesystem::remove(dir_ / ".lock", ignored);
+}
+
+namespace {
+
 void acquire_lockfile(const std::filesystem::path& path) {
   // Unique per acquisition, not just per process: two daemon jobs in one
   // process racing the same dir must not share (and mutually delete) a
@@ -47,7 +82,7 @@ void acquire_lockfile(const std::filesystem::path& path) {
     if (!out) {
       std::error_code ignored;
       std::filesystem::remove(tmp, ignored);
-      throw std::runtime_error("ShardedDiskSink: failed to write lockfile " +
+      throw std::runtime_error("DirLock: failed to write lockfile " +
                                tmp.generic_string());
     }
   }
@@ -61,7 +96,7 @@ void acquire_lockfile(const std::filesystem::path& path) {
       const std::string reason = std::strerror(errno);
       std::error_code ignored;
       std::filesystem::remove(tmp, ignored);
-      throw std::runtime_error("ShardedDiskSink: cannot create lockfile " +
+      throw std::runtime_error("DirLock: cannot create lockfile " +
                                path.generic_string() + ": " + reason);
     }
     long long owner = 0;
@@ -78,7 +113,7 @@ void acquire_lockfile(const std::filesystem::path& path) {
       std::error_code ignored;
       std::filesystem::remove(tmp, ignored);
       throw std::runtime_error(
-          "ShardedDiskSink: output dir " +
+          "DirLock: output dir " +
           path.parent_path().generic_string() +
           " is locked by running process " + std::to_string(owner) +
           " (" + path.filename().generic_string() +
@@ -90,7 +125,7 @@ void acquire_lockfile(const std::filesystem::path& path) {
   }
   std::error_code ignored;
   std::filesystem::remove(tmp, ignored);
-  throw std::runtime_error("ShardedDiskSink: lost lockfile race for " +
+  throw std::runtime_error("DirLock: lost lockfile race for " +
                            path.generic_string());
 }
 
@@ -162,11 +197,17 @@ void prune_manifest(const std::filesystem::path& path, std::size_t next) {
 
 }  // namespace
 
+std::size_t read_dataset_checkpoint(const std::filesystem::path& dir,
+                                    std::uint64_t seed,
+                                    std::size_t shard_size,
+                                    std::ostream* log) {
+  return read_checkpoint(dir / "checkpoint.txt", seed, shard_size, log);
+}
+
 ShardedDiskSink::ShardedDiskSink(Options options)
     : options_(std::move(options)) {
   std::filesystem::create_directories(options_.dir);
-  acquire_lockfile(options_.dir / ".lock");
-  locked_ = true;
+  lock_ = DirLock(options_.dir);
   const auto checkpoint_path = options_.dir / "checkpoint.txt";
   const auto manifest_path = options_.dir / "manifest.jsonl";
   if (options_.fresh) {
@@ -185,12 +226,7 @@ ShardedDiskSink::ShardedDiskSink(Options options)
   prune_manifest(manifest_path, resume_);
 }
 
-ShardedDiskSink::~ShardedDiskSink() {
-  if (locked_) {
-    std::error_code ignored;
-    std::filesystem::remove(options_.dir / ".lock", ignored);
-  }
-}
+ShardedDiskSink::~ShardedDiskSink() = default;
 
 std::filesystem::path ShardedDiskSink::shard_dir(std::size_t index) const {
   if (options_.shard_size == 0) return {};

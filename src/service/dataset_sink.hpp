@@ -18,6 +18,41 @@
 
 namespace syn::service {
 
+/// Advisory per-directory lock: `<dir>/.lock` holding the owner pid,
+/// linked into place atomically. Construction throws std::runtime_error
+/// when a LIVE process already holds the lock (fail-fast against two
+/// jobs interleaving one dataset dir); a lock whose pid is dead (crashed
+/// or killed run) is stale and taken over silently. The destructor
+/// releases. Shared by ShardedDiskSink (one lock per part/output dir)
+/// and merge_dataset_parts (locking the final dir across the merge).
+class DirLock {
+ public:
+  DirLock() = default;
+  explicit DirLock(std::filesystem::path dir);
+  ~DirLock();
+
+  DirLock(DirLock&& other) noexcept;
+  DirLock& operator=(DirLock&& other) noexcept;
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+  void release();
+  [[nodiscard]] bool held() const { return held_; }
+
+ private:
+  std::filesystem::path dir_;
+  bool held_ = false;
+};
+
+/// Reads `dir`/checkpoint.txt: the first index a resuming run still needs
+/// to produce, honoured only when the checkpoint's seed and shard_size
+/// match (a different seed is a different dataset; a different shard size
+/// would scatter resumed designs across a mixed layout). 0 when missing
+/// or mismatched.
+[[nodiscard]] std::size_t read_dataset_checkpoint(
+    const std::filesystem::path& dir, std::uint64_t seed,
+    std::size_t shard_size, std::ostream* log = nullptr);
+
 /// One finished design as it travels producer -> queue -> sink.
 struct DesignRecord {
   /// Global dataset index; design `index` is always driven by stream
@@ -118,7 +153,7 @@ class ShardedDiskSink final : public DatasetSink {
  private:
   Options options_;
   std::size_t resume_ = 0;
-  bool locked_ = false;
+  DirLock lock_;
 };
 
 /// Fans one generation stream out to several sinks — e.g. disk plus a

@@ -1,6 +1,7 @@
 #include "service/generation_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <optional>
 #include <stdexcept>
@@ -41,7 +42,7 @@ GenerationStats GenerationService::run(const GenerationJob& job,
   written_.store(0, std::memory_order_relaxed);
   groups_.store(0, std::memory_order_relaxed);
   GenerationStats stats;
-  const std::size_t resume = sink.resume_index();
+  const std::size_t resume = std::max(sink.resume_index(), job.first);
   stats.resumed_at = std::min(resume, job.count);
   if (stats.resumed_at >= job.count) {
     // Nothing left to generate. When the checkpoint says exactly this
@@ -119,10 +120,28 @@ GenerationStats GenerationService::run(const GenerationJob& job,
             stopped = true;
             return;
           }
+          using clock = std::chrono::steady_clock;
+          const auto elapsed_ms = [](clock::time_point from,
+                                     clock::time_point to) {
+            return std::chrono::duration<double, std::milli>(to - from)
+                .count();
+          };
           const std::size_t base = stats.resumed_at + lo;
+          const auto gen_start = clock::now();
           std::vector<graph::Graph> graphs = model_.generate_batch(
               {attrs.data() + base, n}, {streams.data() + base, n},
               config_.batch);
+          const double generate_ms = elapsed_ms(gen_start, clock::now());
+          // Time spent inside push() is the backpressure stall: the queue
+          // is bounded, so a full queue (sink slower than the model)
+          // blocks the producer right here.
+          double stall_ms = 0.0;
+          const auto timed_push = [&](QueueItem item) {
+            const auto push_start = clock::now();
+            const bool pushed = queue.push(std::move(item));
+            stall_ms += elapsed_ms(push_start, clock::now());
+            return pushed;
+          };
           for (std::size_t k = 0; k < n; ++k) {
             const std::size_t index = base + k;
             graphs[k].set_name("synthetic_" + std::to_string(index));
@@ -132,18 +151,21 @@ GenerationStats GenerationService::run(const GenerationJob& job,
                   " failed validity: " +
                   graph::validate(graphs[k]).to_string());
             }
-            if (!queue.push(DesignRecord{index, streams[index],
+            if (!timed_push(DesignRecord{index, streams[index],
                                          std::move(graphs[k])})) {
               stopped = true;  // consumer died; its error is rethrown below
               return;
             }
             ++stats.produced;
           }
-          if (!queue.push(Checkpoint{base + n})) {
+          if (!timed_push(Checkpoint{base + n})) {
             stopped = true;
             return;
           }
           groups_.fetch_add(1, std::memory_order_relaxed);
+          if (config_.on_group_generated) {
+            config_.on_group_generated(n, generate_ms, stall_ms);
+          }
         });
   } catch (...) {
     producer_error = std::current_exception();
